@@ -1,0 +1,57 @@
+"""Shared helpers for the table/figure benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the relevant experiment cells, renders the same rows/series the paper
+reports, writes them to ``benchmarks/output/<name>.txt``, prints them,
+and asserts the *shape* findings (who wins, what fails, how things
+grow). Expensive grids are memoized so related figures share runs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core import ResultGrid, paper_grid
+from repro.core.runner import ExperimentSpec, run_grid
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: paper cluster sizes
+SIZES = (16, 32, 64, 128)
+#: the three datasets of the main grids (ClueWeb is separate, Table 7)
+MAIN_DATASETS = ("twitter", "uk0705", "wrn")
+
+
+def write_output(name: str, text: str) -> Path:
+    """Persist one reproduced table/figure and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@lru_cache(maxsize=None)
+def workload_grid(workload: str) -> ResultGrid:
+    """The full result grid for one workload (Figures 6-9), memoized."""
+    return paper_grid(workload, datasets=MAIN_DATASETS, cluster_sizes=SIZES)
+
+
+@lru_cache(maxsize=None)
+def twitter_grid() -> ResultGrid:
+    """Figure 5's grid: Twitter, all four workloads, all sizes."""
+    from repro.engines import GRID_SYSTEMS
+
+    spec = ExperimentSpec(
+        systems=GRID_SYSTEMS,
+        workloads=("pagerank", "khop", "sssp", "wcc"),
+        datasets=("twitter",),
+        cluster_sizes=SIZES,
+    )
+    return run_grid(spec)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

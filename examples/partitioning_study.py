@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scenario: how partitioning strategy shapes cost and memory.
+
+Re-enacts §4.4.1 and §5.4: build every partitioner the library has on
+each dataset, compare replication factors, cut fractions, and balance,
+and show why GraphLab's Auto mode zig-zags with cluster size.
+
+Run:  python examples/partitioning_study.py
+"""
+
+from repro import load_dataset
+from repro.analysis import render_table
+from repro.partitioning import (
+    auto_method_for,
+    auto_partition,
+    grid_partition,
+    oblivious_partition,
+    random_edge_partition,
+    random_vertex_partition,
+    voronoi_partition,
+)
+
+
+def vertex_cut_table(dataset_name: str, machines: int):
+    graph = load_dataset(dataset_name, "small").graph
+    rows = []
+    makers = [("random", random_edge_partition), ("oblivious", oblivious_partition)]
+    try:
+        grid_partition(graph, machines)
+        makers.insert(1, ("grid", grid_partition))
+    except ValueError:
+        pass
+    for name, maker in makers:
+        p = maker(graph, machines)
+        rows.append({
+            "Scheme": name,
+            "Replication": round(p.replication_factor(), 2),
+            "Balance skew": round(p.balance_skew(), 3),
+        })
+    return rows
+
+
+def main() -> None:
+    for dataset_name in ("twitter", "uk0705", "wrn"):
+        print("=" * 64)
+        print(f"vertex-cut schemes on {dataset_name}, 16 machines")
+        print(render_table(vertex_cut_table(dataset_name, 16)))
+        print()
+
+    print("=" * 64)
+    print("GraphLab Auto's scheme per cluster size (§4.4.1):")
+    for machines in (16, 32, 64, 128):
+        print(f"  {machines:>4d} machines -> {auto_method_for(machines)}")
+    print(
+        "\nGrid needs a near-square machine count (16 = 4x4, 64 = 8x8);"
+        "\n32 and 128 fall back to the slower Oblivious greedy - the"
+        "\nreason GraphLab's load time gets *worse* on bigger clusters."
+    )
+
+    print("\n" + "=" * 64)
+    print("edge-cut vs block partitioning on the road network (16 machines):")
+    graph = load_dataset("wrn", "small").graph
+    edge_cut = random_vertex_partition(graph, 16)
+    blocks = voronoi_partition(graph, 16)
+    print(render_table([
+        {
+            "Scheme": "random edge-cut (Giraph/Blogel-V)",
+            "Machine cut": round(edge_cut.cut_fraction(), 3),
+            "Blocks": "-",
+        },
+        {
+            "Scheme": "Graph Voronoi blocks (Blogel-B)",
+            "Machine cut": round(blocks.cut_fraction(), 3),
+            "Blocks": blocks.num_blocks,
+        },
+    ]))
+    print(
+        "\nSpatial Voronoi blocks keep almost every road edge internal,"
+        "\nwhich is exactly why block-centric execution wins reachability"
+        "\nworkloads (when the partitioner itself survives, §5.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

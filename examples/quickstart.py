@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: run one experiment cell and read the result.
+
+This is the smallest useful program against the public API: pick a
+system by its figure abbreviation, a workload, a dataset, and a cluster
+size — get back the paper's four metrics plus the actual computed
+answer (which is exact: the simulation charges costs, it does not fake
+results).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import load_dataset, run_cell
+from repro.workloads import reference_pagerank
+
+import numpy as np
+
+
+def main() -> None:
+    dataset = load_dataset("twitter", "small")
+    print(f"dataset: {dataset}")
+
+    # Blogel-V (the paper's overall winner), PageRank, 16 machines.
+    result = run_cell("BV", "pagerank", dataset, cluster_size=16)
+    print(f"\n{result}")
+    print(f"  load    : {result.load_time:8.1f} s")
+    print(f"  execute : {result.execute_time:8.1f} s")
+    print(f"  save    : {result.save_time:8.1f} s")
+    print(f"  total   : {result.total_time:8.1f} s "
+          f"({result.iterations} iterations)")
+    print(f"  network : {result.network_bytes / 1e9:8.1f} GB moved")
+    print(f"  memory  : {result.total_memory_bytes / 2**30:8.1f} GiB "
+          f"across the cluster")
+
+    # The answer is the true PageRank vector.
+    expected = reference_pagerank(dataset.graph, tolerance=1e-5)
+    top = np.argsort(result.answer)[::-1][:5]
+    print("\n  top-5 vertices by rank:", top.tolist())
+    correlation = np.corrcoef(result.answer, expected)[0, 1]
+    print(f"  correlation with reference ranks: {correlation:.6f}")
+
+    # Failures are first-class results, not exceptions: ask GraphLab to
+    # load the road network on 16 machines (it cannot, §5.2).
+    wrn = load_dataset("wrn", "small")
+    failed = run_cell("GL-S-R-I", "pagerank", wrn, cluster_size=16)
+    print(f"\n{failed}")
+    print(f"  cell: {failed.cell()}  ({failed.failure_detail})")
+
+
+if __name__ == "__main__":
+    main()

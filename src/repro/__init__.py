@@ -1,0 +1,71 @@
+"""repro: reproduction of "Experimental Analysis of Distributed Graph
+Systems" (Ammar & Ozsu, VLDB 2018).
+
+The package simulates the paper's eight distributed graph processing
+systems over synthetic, paper-shaped datasets, runs the paper's four
+workloads for real, and regenerates every table and figure of the
+evaluation. See DESIGN.md for the architecture and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quickstart::
+
+    from repro import run_cell, load_dataset
+    dataset = load_dataset("twitter", "small")
+    result = run_cell("BV", "pagerank", dataset, cluster_size=16)
+    print(result.total_time, result.iterations)
+"""
+
+from .cluster import CLUSTER_SIZES, ClusterSpec, FailureKind
+from .core import (
+    ExperimentSpec,
+    ResultGrid,
+    cost_experiment,
+    paper_grid,
+    run_cell,
+    run_grid,
+)
+from .datasets import DATASET_NAMES, Dataset, load_dataset
+from .engines import (
+    ENGINE_KEYS,
+    GRID_SYSTEMS,
+    PAGERANK_SYSTEMS,
+    RunResult,
+    make_engine,
+    make_workload,
+    systems_for_workload,
+    workload_for,
+)
+from .graph import Graph, GraphBuilder
+from .workloads import SSSP, WCC, KHop, PageRank
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "GraphBuilder",
+    "Dataset",
+    "load_dataset",
+    "DATASET_NAMES",
+    "ClusterSpec",
+    "CLUSTER_SIZES",
+    "FailureKind",
+    "PageRank",
+    "WCC",
+    "SSSP",
+    "KHop",
+    "make_engine",
+    "make_workload",
+    "workload_for",
+    "ENGINE_KEYS",
+    "GRID_SYSTEMS",
+    "PAGERANK_SYSTEMS",
+    "RunResult",
+    "systems_for_workload",
+    "run_cell",
+    "run_grid",
+    "paper_grid",
+    "ExperimentSpec",
+    "ResultGrid",
+    "cost_experiment",
+]

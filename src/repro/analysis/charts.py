@@ -1,0 +1,98 @@
+"""ASCII charts — the stand-in for the paper's visualization tool.
+
+The authors built a tool that parses system logs and renders comparison
+figures; here the same roles are filled by text renderers: grouped bar
+charts (the result figures), line series (Figure 10's memory traces),
+and histograms (Figure 11's partition placement).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "line_chart", "histogram"]
+
+_BAR = "█"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    title: Optional[str] = None,
+    unit: str = "s",
+) -> str:
+    """Horizontal bar chart; labels may map to None for failed cells."""
+    lines = [title] if title else []
+    numeric = {k: v for k, v in values.items() if v is not None}
+    peak = max(numeric.values()) if numeric else 1.0
+    label_w = max((len(k) for k in values), default=0)
+    for label, value in values.items():
+        if value is None:
+            lines.append(f"{label.ljust(label_w)} | (failed)")
+            continue
+        bar = _BAR * max(1, int(round(width * value / peak))) if peak else ""
+        lines.append(f"{label.ljust(label_w)} | {bar} {value:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Plot (x, y) series as an ASCII grid; one symbol per series."""
+    symbols = "*o+x#@%&"
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    lines = [title] if title else []
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        sym = symbols[idx % len(symbols)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = sym
+    lines.append(f"y: {y_lo:,.1f} .. {y_hi:,.1f}")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo:,.1f} .. {x_hi:,.1f}")
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Counts-per-bin bar rendering (Figure 11's placement histogram)."""
+    lines = [title] if title else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / span * bins))
+        counts[idx] += 1
+    peak = max(counts) or 1
+    for i, count in enumerate(counts):
+        lower = lo + span * i / bins
+        upper = lo + span * (i + 1) / bins
+        bar = _BAR * max(0, int(round(width * count / peak)))
+        lines.append(f"[{lower:8.1f}, {upper:8.1f}) {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Run logs: JSONL persistence of experiment results.
+
+The paper's experiments produced "more than 20 GB of log files that
+were used for analysis" (§1). Here every :class:`RunResult` serializes
+to one JSON line; grids can be written, re-read, and re-analysed
+without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..cluster import FailureKind
+from ..engines.base import RunResult
+from ..core.runner import ResultGrid
+
+__all__ = ["result_to_record", "record_to_result", "write_log", "read_log"]
+
+
+def result_to_record(result: RunResult) -> dict:
+    """A JSON-safe dict for one run (answers are not serialized)."""
+    return {
+        "system": result.system,
+        "workload": result.workload,
+        "dataset": result.dataset,
+        "cluster_size": result.cluster_size,
+        "load_time": result.load_time,
+        "execute_time": result.execute_time,
+        "save_time": result.save_time,
+        "overhead_time": result.overhead_time,
+        "iterations": result.iterations,
+        "failure": str(result.failure) if result.failure else None,
+        "failure_detail": result.failure_detail,
+        "network_bytes": result.network_bytes,
+        "peak_memory_bytes": result.peak_memory_bytes,
+        "total_memory_bytes": result.total_memory_bytes,
+        "per_iteration_time": result.per_iteration_time,
+        "extras": result.extras,
+    }
+
+
+def record_to_result(record: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` (without the answer array)."""
+    failure = record.get("failure")
+    return RunResult(
+        system=record["system"],
+        workload=record["workload"],
+        dataset=record["dataset"],
+        cluster_size=record["cluster_size"],
+        load_time=record.get("load_time", 0.0),
+        execute_time=record.get("execute_time", 0.0),
+        save_time=record.get("save_time", 0.0),
+        overhead_time=record.get("overhead_time", 0.0),
+        iterations=record.get("iterations", 0),
+        failure=FailureKind(failure) if failure else None,
+        failure_detail=record.get("failure_detail", ""),
+        network_bytes=record.get("network_bytes", 0.0),
+        peak_memory_bytes=record.get("peak_memory_bytes", 0.0),
+        total_memory_bytes=record.get("total_memory_bytes", 0.0),
+        per_iteration_time=record.get("per_iteration_time", 0.0),
+        extras=record.get("extras", {}),
+    )
+
+
+def write_log(results: Iterable[RunResult], path: Union[str, Path]) -> int:
+    """Append results to a JSONL log file; returns lines written."""
+    count = 0
+    with open(path, "a", encoding="ascii") as fh:
+        for result in results:
+            fh.write(json.dumps(result_to_record(result)) + "\n")
+            count += 1
+    return count
+
+
+def read_log(path: Union[str, Path]) -> ResultGrid:
+    """Load a JSONL log back into a :class:`ResultGrid`."""
+    grid = ResultGrid()
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                grid.put(record_to_result(json.loads(line)))
+    return grid

@@ -1,0 +1,116 @@
+"""Experiment report generation — the paper's analysis pipeline.
+
+The authors condensed "more than 20 GB of log files" into the paper's
+tables and discussion with a custom tool (§1). This module is that
+tool's equivalent: it takes a :class:`ResultGrid` (fresh or re-read
+from a JSONL log) and emits a self-contained Markdown report — result
+tables per workload, failure census, per-column winners, and
+strong-scaling classification.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from ..core.runner import ResultGrid
+from ..core.scalability import scaling_classification, scaling_curves
+from .tables import render_table
+
+__all__ = ["grid_report"]
+
+
+def _workloads(grid: ResultGrid) -> List[str]:
+    return sorted({w for (_s, w, _d, _c) in grid.cells})
+
+
+def _datasets(grid: ResultGrid) -> List[str]:
+    return sorted({d for (_s, _w, d, _c) in grid.cells})
+
+
+def _systems(grid: ResultGrid) -> List[str]:
+    return sorted({s for (s, _w, _d, _c) in grid.cells})
+
+
+def _sizes(grid: ResultGrid) -> List[int]:
+    return sorted({c for (_s, _w, _d, c) in grid.cells})
+
+
+def _result_section(grid: ResultGrid, workload: str) -> str:
+    sizes = _sizes(grid)
+    rows = []
+    for dataset in _datasets(grid):
+        for system in _systems(grid):
+            if not any(
+                (system, workload, dataset, size) in grid.cells for size in sizes
+            ):
+                continue
+            row: Dict[str, object] = {"dataset": dataset, "system": system}
+            for size in sizes:
+                row[f"{size} mach"] = grid.cell_text(system, workload, dataset, size)
+            rows.append(row)
+    return render_table(rows, title=f"### {workload}")
+
+
+def _failure_census(grid: ResultGrid) -> str:
+    counts = Counter(str(r.failure) for r in grid.failures())
+    total = len(grid)
+    lines = [f"### Failures ({len(grid.failures())} of {total} runs)"]
+    for kind, count in counts.most_common():
+        lines.append(f"- **{kind}**: {count}")
+    if not counts:
+        lines.append("- none")
+    return "\n".join(lines)
+
+
+def _winners(grid: ResultGrid) -> str:
+    rows = []
+    for workload in _workloads(grid):
+        for dataset in _datasets(grid):
+            for size in _sizes(grid):
+                best = grid.best_system(workload, dataset, size)
+                if best is not None:
+                    rows.append({
+                        "workload": workload,
+                        "dataset": dataset,
+                        "machines": size,
+                        "winner": best.system,
+                        "seconds": round(best.total_time, 1),
+                    })
+    return render_table(rows, title="### Best system per column (end-to-end)")
+
+
+def _scaling_section(grid: ResultGrid) -> str:
+    lines = ["### Strong-scaling classification (§5.12)"]
+    sizes = _sizes(grid)
+    for workload in _workloads(grid):
+        for dataset in _datasets(grid):
+            curves = scaling_curves(grid, workload, dataset, cluster_sizes=sizes)
+            labels = scaling_classification(curves)
+            if labels:
+                summary = ", ".join(f"{s}: {label}" for s, label in sorted(labels.items()))
+                lines.append(f"- {workload} / {dataset}: {summary}")
+    return "\n".join(lines)
+
+
+def grid_report(grid: ResultGrid, title: str = "Experiment report") -> str:
+    """A self-contained Markdown report for one result grid."""
+    if not grid.cells:
+        return f"# {title}\n\n(no runs)"
+    parts = [f"# {title}", ""]
+    parts.append(
+        f"{len(grid)} runs: {len(grid.completed())} completed, "
+        f"{len(grid.failures())} failed. Systems: "
+        f"{', '.join(_systems(grid))}. Datasets: {', '.join(_datasets(grid))}. "
+        f"Cluster sizes: {', '.join(map(str, _sizes(grid)))}."
+    )
+    parts.append("")
+    for workload in _workloads(grid):
+        parts.append(_result_section(grid, workload))
+        parts.append("")
+    parts.append(_failure_census(grid))
+    parts.append("")
+    parts.append(_winners(grid))
+    parts.append("")
+    parts.append(_scaling_section(grid))
+    return "\n".join(parts)

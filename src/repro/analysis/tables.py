@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the bench harness.
+
+The paper's figures are bar charts and tables; the harness prints them
+as aligned text so every table/figure reproduction is diffable output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["render_table", "render_grid"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}" if abs(value) < 1e6 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_grid(
+    grid,   # ResultGrid
+    workload: str,
+    datasets: Sequence[str],
+    cluster_sizes: Sequence[int],
+    systems: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render one of the paper's result grids (Figs 5-9) as text.
+
+    Rows are (dataset, system); columns are cluster sizes; cells are
+    total response seconds or the failure code.
+    """
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        for system in systems:
+            row: Dict[str, object] = {"dataset": dataset, "system": system}
+            for size in cluster_sizes:
+                row[f"{size} mach"] = grid.cell_text(system, workload, dataset, size)
+            rows.append(row)
+    return render_table(rows, title=title or f"{workload} results")

@@ -1,0 +1,225 @@
+"""Command-line interface: drive the experiments without writing code.
+
+Subcommands mirror the study's workflow::
+
+    repro datasets                      # Table 3 for the synthetic stand-ins
+    repro run BV pagerank twitter -m 16 # one experiment cell
+    repro grid wcc --log runs.jsonl     # one result figure (Figs 6-9)
+    repro cost                          # Table 9 (the COST experiment)
+    repro weak BV pagerank twitter      # the weak-scaling extension
+    repro report runs.jsonl -o out.md   # Markdown report from a log
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import render_grid, render_table, write_log
+from .analysis.report import grid_report
+from .cluster import CLUSTER_SIZES, ClusterSpec
+from .core import cost_experiment, paper_grid, run_cell
+from .core.weak_scaling import weak_efficiency, weak_scaling_experiment
+from .datasets import DATASET_NAMES, load_dataset
+from .engines import (ENGINE_KEYS, EXTENSION_WORKLOADS, WORKLOAD_NAMES,
+                      systems_for_workload)
+from .graph import compute_stats, estimate_diameter
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Experimental Analysis of Distributed Graph "
+            "Systems' (VLDB 2018): run simulated experiment cells, grids, "
+            "and analyses."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="describe the synthetic datasets")
+    p.add_argument("--size", default="small", help="tiny|small|medium")
+
+    p = sub.add_parser("run", help="run one experiment cell")
+    p.add_argument("system", choices=sorted(ENGINE_KEYS))
+    p.add_argument("workload", choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
+    p.add_argument("dataset", choices=DATASET_NAMES)
+    p.add_argument("-m", "--machines", type=int, default=16)
+    p.add_argument("--size", default="small")
+
+    p = sub.add_parser("grid", help="run one result grid (Figures 6-9)")
+    p.add_argument("workload", choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
+    p.add_argument("--datasets", nargs="+", default=["twitter", "uk0705", "wrn"])
+    p.add_argument("--machines", nargs="+", type=int, default=list(CLUSTER_SIZES))
+    p.add_argument("--size", default="small")
+    p.add_argument("--log", help="append results to this JSONL file")
+
+    p = sub.add_parser("cost", help="the COST experiment (Table 9)")
+    p.add_argument("--datasets", nargs="+", default=["twitter", "uk0705", "wrn"])
+    p.add_argument("--workloads", nargs="+", default=["pagerank", "sssp", "wcc"])
+
+    p = sub.add_parser("weak", help="weak-scaling extension experiment")
+    p.add_argument("system", choices=sorted(ENGINE_KEYS))
+    p.add_argument("workload", choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
+    p.add_argument("dataset", choices=DATASET_NAMES)
+    p.add_argument("--machines", nargs="+", type=int, default=list(CLUSTER_SIZES))
+
+    sub.add_parser("findings", help="verify the paper's major findings")
+
+    p = sub.add_parser("report", help="render a Markdown report from a log")
+    p.add_argument("log", help="JSONL file written by 'repro grid --log'")
+    p.add_argument("-o", "--output", help="write the report here (default stdout)")
+
+    return parser
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name, args.size)
+        stats = compute_stats(dataset.graph)
+        rows.append({
+            "dataset": name,
+            "|V|": stats.num_vertices,
+            "|E|": stats.num_edges,
+            "avg deg": round(stats.avg_degree, 2),
+            "max deg": stats.max_degree,
+            "diameter>=": estimate_diameter(dataset.graph),
+            "stands in for |E|": dataset.profile.num_edges,
+        })
+    print(render_table(rows, title=f"Synthetic datasets ({args.size})"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    dataset = load_dataset(args.dataset, args.size)
+    result = run_cell(args.system, args.workload, dataset, args.machines)
+    print(render_table([{
+        "system": result.system,
+        "workload": result.workload,
+        "dataset": result.dataset,
+        "machines": result.cluster_size,
+        "load s": round(result.load_time, 1),
+        "execute s": round(result.execute_time, 1),
+        "save s": round(result.save_time, 1),
+        "total s": round(result.total_time, 1),
+        "iterations": result.iterations,
+        "cell": result.cell(),
+    }]))
+    if not result.ok:
+        print(f"failure: {result.failure_detail}")
+    return 0 if result.ok else 1
+
+
+def _cmd_grid(args) -> int:
+    grid = paper_grid(
+        args.workload,
+        datasets=tuple(args.datasets),
+        cluster_sizes=tuple(args.machines),
+        dataset_size=args.size,
+    )
+    print(render_grid(
+        grid, args.workload, args.datasets, args.machines,
+        systems_for_workload(args.workload),
+        title=f"{args.workload} results (total response seconds)",
+    ))
+    if args.log:
+        count = write_log(grid.cells.values(), args.log)
+        print(f"\n{count} runs appended to {args.log}")
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    rows = cost_experiment(
+        datasets=tuple(args.datasets), workloads=tuple(args.workloads)
+    )
+    print(render_table(
+        [{
+            "dataset": r.dataset,
+            "workload": r.workload,
+            "single thread s": round(r.single_thread_seconds, 1),
+            "best parallel s": round(r.best_parallel_seconds or 0, 1),
+            "winner": r.best_parallel_system or "-",
+            "COST (S/P)": round(r.cost, 3) if r.cost else "-",
+        } for r in rows],
+        title="COST experiment (16-machine clusters vs one thread)",
+    ))
+    return 0
+
+
+def _cmd_weak(args) -> int:
+    points = weak_scaling_experiment(
+        args.system, args.workload, args.dataset,
+        cluster_sizes=tuple(args.machines),
+    )
+    efficiency = dict(weak_efficiency(points))
+    print(render_table(
+        [{
+            "machines": p.machines,
+            "paper |E|": p.paper_edges,
+            "total s": round(p.time, 1) if p.result.ok else p.result.cell(),
+            "efficiency": round(efficiency.get(p.machines, 0.0), 2),
+        } for p in points],
+        title=(f"Weak scaling: {args.system} / {args.workload} on "
+               f"{args.dataset}-shaped data (constant load per machine)"),
+    ))
+    return 0
+
+
+def _cmd_findings(args) -> int:
+    from .core import verify_all_findings
+
+    findings = verify_all_findings()
+    rows = [{
+        "finding": f.key,
+        "section": f.section,
+        "verdict": "SUPPORTED" if f.supported else "NOT SUPPORTED",
+    } for f in findings]
+    print(render_table(rows, title="The paper's major findings, re-verified"))
+    for f in findings:
+        print(f"\n[{f.key}] {f.claim}")
+        for name, value in f.evidence.items():
+            print(f"    {name}: {value}")
+    return 0 if all(f.supported for f in findings) else 1
+
+
+def _cmd_report(args) -> int:
+    from .analysis import read_log
+
+    grid = read_log(args.log)
+    text = grid_report(grid, title=f"Experiment report — {args.log}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "run": _cmd_run,
+    "grid": _cmd_grid,
+    "cost": _cmd_cost,
+    "weak": _cmd_weak,
+    "findings": _cmd_findings,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

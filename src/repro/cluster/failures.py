@@ -1,0 +1,67 @@
+"""Failure taxonomy of the paper's experiments (section 5, Table legends).
+
+Empty cells in the paper's result grids are one of: timeout after 24
+hours (TO), out-of-memory on any machine (OOM), the MPI int-overflow
+that only hits Blogel-B's Voronoi partitioner (MPI), and the HaLoop
+shuffle bug that deletes mapper output on large clusters (SHFL).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = [
+    "FailureKind",
+    "SimulatedFailure",
+    "SimulatedOOM",
+    "SimulatedTimeout",
+    "MPIOverflowError",
+    "ShuffleError",
+]
+
+
+class FailureKind(str, enum.Enum):
+    """Abbreviations used in the paper's result figures."""
+
+    OOM = "OOM"
+    TIMEOUT = "TO"
+    MPI = "MPI"
+    SHUFFLE = "SHFL"
+
+    def __str__(self) -> str:  # the grids print the bare abbreviation
+        return self.value
+
+
+class SimulatedFailure(RuntimeError):
+    """Base class for simulated run failures."""
+
+    kind: FailureKind
+
+    def __init__(self, message: str, machine: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.machine = machine
+
+
+class SimulatedOOM(SimulatedFailure):
+    """A machine exceeded its memory capacity."""
+
+    kind = FailureKind.OOM
+
+
+class SimulatedTimeout(SimulatedFailure):
+    """The run exceeded the experiment's 24-hour budget."""
+
+    kind = FailureKind.TIMEOUT
+
+
+class MPIOverflowError(SimulatedFailure):
+    """MPI aggregate exceeded INT32 item count (Blogel-B on WRN, §5.1)."""
+
+    kind = FailureKind.MPI
+
+
+class ShuffleError(SimulatedFailure):
+    """HaLoop deleted mapper output before reducers read it (§5.10)."""
+
+    kind = FailureKind.SHUFFLE

@@ -1,0 +1,59 @@
+"""Failure injection: exercising Table 1's fault-tolerance column.
+
+The paper catalogues each system's fault-tolerance mechanism
+(re-execution for the MapReduce family, global checkpoints for the
+in-memory systems, nothing for Vertica) but never kills a machine.
+This module adds that experiment: a :class:`FaultPlan` schedules worker
+failures at simulated times; engines consume the events between
+supersteps and charge their system's recovery cost.
+
+Recovery models:
+
+* ``checkpoint`` — the BSP systems write a global checkpoint every
+  ``checkpoint_interval`` supersteps (a replicated HDFS write of the
+  vertex state); on failure the whole cluster reloads its partitions
+  and re-executes the supersteps since the last checkpoint.
+* ``reexecution`` — Hadoop/HaLoop re-run the failed machine's tasks of
+  the current iteration; the blast radius is one machine's shard, not
+  the cluster.
+* ``none`` — Vertica aborts the query; the run restarts from zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass
+class FaultPlan:
+    """Scheduled worker failures for one run."""
+
+    #: simulated seconds at which a (random) worker dies
+    fail_times: Tuple[float, ...] = ()
+    #: supersteps between global checkpoints (checkpointing systems)
+    checkpoint_interval: int = 10
+
+    def __post_init__(self) -> None:
+        if any(t < 0 for t in self.fail_times):
+            raise ValueError("failure times must be non-negative")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        self._pending: List[float] = sorted(self.fail_times)
+
+    def pop_due(self, now: float) -> List[float]:
+        """Failure events that have fired by ``now`` (consumed once)."""
+        due = [t for t in self._pending if t <= now]
+        self._pending = [t for t in self._pending if t > now]
+        return due
+
+    @property
+    def pending(self) -> Tuple[float, ...]:
+        """Events not yet fired."""
+        return tuple(self._pending)
+
+    def reset(self) -> None:
+        """Re-arm every event (used when a run restarts from zero)."""
+        self._pending = sorted(self.fail_times)

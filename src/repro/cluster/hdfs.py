@@ -1,0 +1,78 @@
+"""HDFS model: blocks, replicated storage, and chunked parallel reads.
+
+All systems except Vertica read datasets from and write results to HDFS
+(§2). Two details from the paper matter for performance and are
+modelled explicitly:
+
+* Datasets are stored in 64 MB blocks; GraphX's default partition count
+  equals the number of blocks (§4.4.3).
+* The C++ HDFS client used by Blogel and GraphLab spawns one reader
+  thread per input chunk, so the datasets are pre-split into chunks
+  (§4.3); reading parallelism is bounded by the chunk count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .specs import MB, MachineSpec
+
+__all__ = ["HdfsModel", "DEFAULT_BLOCK_SIZE"]
+
+DEFAULT_BLOCK_SIZE = 64 * MB
+
+
+class HdfsModel:
+    """Distributed file system shared by the cluster."""
+
+    #: Hadoop's default replication; writes pay for pipeline copies.
+    replication: int = 3
+    #: fraction of reads served from a non-local replica over the network
+    remote_read_fraction: float = 0.33
+
+    def __init__(
+        self,
+        num_machines: int,
+        machine: MachineSpec,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.num_machines = num_machines
+        self.machine = machine
+        self.block_size = block_size
+        self.bytes_read: float = 0.0
+        self.bytes_written: float = 0.0
+
+    def num_blocks(self, nbytes: float) -> int:
+        """Blocks a file of ``nbytes`` occupies (GraphX's default #partitions)."""
+        return max(1, math.ceil(nbytes / self.block_size))
+
+    def read_time(self, nbytes: float, reader_threads: int) -> float:
+        """Cluster-parallel read of ``nbytes`` using ``reader_threads``.
+
+        Thread throughput is disk-bound; parallelism is capped by both
+        the thread count and the aggregate cluster disk bandwidth.
+        """
+        if nbytes <= 0:
+            return 0.0
+        self.bytes_read += nbytes
+        threads = max(1, reader_threads)
+        disk_parallel = min(threads, self.num_machines * self.machine.cores)
+        disk_time = nbytes / (disk_parallel * self.machine.disk_read_bps)
+        # Some blocks are remote: their bytes also cross the network.
+        remote_bytes = nbytes * self.remote_read_fraction
+        net_time = remote_bytes / (self.num_machines * self.machine.network_bps)
+        return disk_time + net_time
+
+    def write_time(self, nbytes: float, writer_threads: int) -> float:
+        """Cluster-parallel replicated write of ``nbytes``."""
+        if nbytes <= 0:
+            return 0.0
+        physical = nbytes * self.replication
+        self.bytes_written += physical
+        threads = max(1, writer_threads)
+        disk_parallel = min(threads, self.num_machines * self.machine.cores)
+        disk_time = physical / (disk_parallel * self.machine.disk_write_bps)
+        # replication pipeline: replication-1 copies cross the network
+        net_bytes = nbytes * (self.replication - 1)
+        net_time = net_bytes / (self.num_machines * self.machine.network_bps)
+        return disk_time + net_time

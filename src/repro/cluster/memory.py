@@ -1,0 +1,104 @@
+"""Per-machine memory accounting with OOM semantics.
+
+The paper's clusters fail whenever *any one machine* runs out of its
+30.5 GB (§5: "out-of-memory at any machine in the cluster (OOM)").
+The accountant therefore tracks allocations per machine, labelled by
+purpose, and raises :class:`SimulatedOOM` the moment any machine's
+resident total would exceed capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .failures import SimulatedOOM
+from .specs import GB, MachineSpec
+
+__all__ = ["MemoryAccountant"]
+
+
+class MemoryAccountant:
+    """Tracks labelled allocations per machine against a hard capacity."""
+
+    def __init__(self, num_machines: int, machine: MachineSpec) -> None:
+        if num_machines < 1:
+            raise ValueError("need at least one machine")
+        self.machine = machine
+        self.num_machines = num_machines
+        self._used: List[float] = [0.0] * num_machines
+        self._peak: List[float] = [0.0] * num_machines
+        self._by_label: List[Dict[str, float]] = [dict() for _ in range(num_machines)]
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Per-machine capacity."""
+        return self.machine.memory_bytes
+
+    def used_bytes(self, machine_id: int) -> float:
+        """Current resident bytes on one machine."""
+        return self._used[machine_id]
+
+    def peak_bytes(self, machine_id: int) -> float:
+        """Peak resident bytes on one machine."""
+        return self._peak[machine_id]
+
+    def total_peak_bytes(self) -> float:
+        """Sum of per-machine peaks (what Table 8 reports)."""
+        return sum(self._peak)
+
+    def label_bytes(self, machine_id: int, label: str) -> float:
+        """Bytes currently attributed to a label on one machine."""
+        return self._by_label[machine_id].get(label, 0.0)
+
+    def allocate(self, machine_id: int, nbytes: float, label: str) -> None:
+        """Charge an allocation; raises :class:`SimulatedOOM` over capacity."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        new_total = self._used[machine_id] + nbytes
+        if new_total > self.capacity_bytes:
+            raise SimulatedOOM(
+                f"machine {machine_id} needs {new_total / GB:.1f} GB for "
+                f"{label!r} but has {self.capacity_bytes / GB:.1f} GB",
+                machine=machine_id,
+            )
+        self._used[machine_id] = new_total
+        self._peak[machine_id] = max(self._peak[machine_id], new_total)
+        labels = self._by_label[machine_id]
+        labels[label] = labels.get(label, 0.0) + nbytes
+
+    def allocate_even(self, nbytes: float, label: str, skew: float = 0.0) -> None:
+        """Spread an allocation across machines, optionally skewed.
+
+        ``skew`` is the extra fraction the most-loaded machine carries
+        over a perfectly even split — partitioners are never perfectly
+        balanced (Figure 11), and OOM triggers on the *heaviest* machine.
+        """
+        if self.num_machines == 1:
+            self.allocate(0, nbytes, label)
+            return
+        even = nbytes / self.num_machines
+        heavy = even * (1.0 + skew)
+        rest = (nbytes - heavy) / (self.num_machines - 1)
+        self.allocate(0, heavy, label)
+        for m in range(1, self.num_machines):
+            self.allocate(m, rest, label)
+
+    def free(self, machine_id: int, nbytes: float, label: str) -> None:
+        """Release a previous allocation (never below zero)."""
+        labels = self._by_label[machine_id]
+        held = labels.get(label, 0.0)
+        release = min(nbytes, held)
+        labels[label] = held - release
+        self._used[machine_id] = max(0.0, self._used[machine_id] - release)
+
+    def free_label(self, label: str) -> None:
+        """Release everything attributed to ``label`` on all machines."""
+        for m in range(self.num_machines):
+            held = self._by_label[m].pop(label, 0.0)
+            self._used[m] = max(0.0, self._used[m] - held)
+
+    def free_all(self) -> None:
+        """Release every allocation (end of a run)."""
+        for m in range(self.num_machines):
+            self._used[m] = 0.0
+            self._by_label[m].clear()

@@ -1,0 +1,151 @@
+"""Simulated clock and resource usage tracking.
+
+The paper records CPU utilization per process type, memory usage every
+second, and network-card byte counts before/after each run (§4.2), then
+analyses "20 GB of log files". Figures 10 and 13 are drawn straight
+from these series. :class:`ResourceTracker` is the simulated
+equivalent: every engine phase reports what each machine did, and the
+tracker keeps per-machine time series plus aggregate counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["SimClock", "CpuSample", "MemorySample", "ResourceTracker"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are a bug."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+
+@dataclass(frozen=True)
+class CpuSample:
+    """CPU seconds by category over one phase on one machine."""
+
+    time: float          # simulated timestamp at end of the phase
+    machine: int
+    user: float          # useful computation
+    system: float        # framework overhead
+    iowait: float        # waiting on disk
+    idle: float
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Resident memory on one machine at one simulated instant."""
+
+    time: float
+    machine: int
+    used_bytes: int
+
+
+class ResourceTracker:
+    """Accumulates the per-run resource series the paper logs."""
+
+    def __init__(self, num_machines: int) -> None:
+        self.num_machines = num_machines
+        self.cpu_samples: List[CpuSample] = []
+        self.memory_samples: List[MemorySample] = []
+        self.network_bytes_sent: float = 0.0
+        self.network_bytes_received: float = 0.0
+        self.disk_bytes_read: float = 0.0
+        self.disk_bytes_written: float = 0.0
+
+    # -- recording -------------------------------------------------------
+
+    def record_cpu(
+        self,
+        time: float,
+        machine: int,
+        user: float = 0.0,
+        system: float = 0.0,
+        iowait: float = 0.0,
+        idle: float = 0.0,
+    ) -> None:
+        """Record one machine's CPU breakdown for a completed phase."""
+        self.cpu_samples.append(
+            CpuSample(time=time, machine=machine, user=user, system=system,
+                      iowait=iowait, idle=idle)
+        )
+
+    def record_memory(self, time: float, machine: int, used_bytes: int) -> None:
+        """Record a resident-memory sample."""
+        self.memory_samples.append(
+            MemorySample(time=time, machine=machine, used_bytes=used_bytes)
+        )
+
+    def record_network(self, sent: float, received: float) -> None:
+        """Add to the NIC byte counters."""
+        self.network_bytes_sent += sent
+        self.network_bytes_received += received
+
+    def record_disk(self, read: float = 0.0, written: float = 0.0) -> None:
+        """Add to the disk byte counters."""
+        self.disk_bytes_read += read
+        self.disk_bytes_written += written
+
+    # -- queries (what the figures plot) ----------------------------------
+
+    def peak_memory_bytes(self) -> int:
+        """Largest single-machine resident memory seen."""
+        if not self.memory_samples:
+            return 0
+        return max(s.used_bytes for s in self.memory_samples)
+
+    def total_memory_bytes(self) -> int:
+        """Sum of every machine's peak memory (Table 8's metric)."""
+        peaks: Dict[int, int] = {}
+        for s in self.memory_samples:
+            peaks[s.machine] = max(peaks.get(s.machine, 0), s.used_bytes)
+        return sum(peaks.values())
+
+    def memory_series(self, machine: int) -> List[Tuple[float, int]]:
+        """(time, bytes) series for one machine (Figure 10's lines)."""
+        return [
+            (s.time, s.used_bytes)
+            for s in self.memory_samples
+            if s.machine == machine
+        ]
+
+    def cpu_totals(self) -> Dict[str, float]:
+        """Aggregate CPU seconds by category across the cluster."""
+        totals = {"user": 0.0, "system": 0.0, "iowait": 0.0, "idle": 0.0}
+        for s in self.cpu_samples:
+            totals["user"] += s.user
+            totals["system"] += s.system
+            totals["iowait"] += s.iowait
+            totals["idle"] += s.idle
+        return totals
+
+    def max_cpu_utilization(self) -> Dict[str, float]:
+        """Peak per-phase fraction of (user, iowait) CPU (Figure 13a)."""
+        best_user = 0.0
+        best_iowait = 0.0
+        for s in self.cpu_samples:
+            denom = s.user + s.system + s.iowait + s.idle
+            if denom <= 0:
+                continue
+            best_user = max(best_user, s.user / denom)
+            best_iowait = max(best_iowait, s.iowait / denom)
+        return {"user": best_user, "iowait": best_iowait}
+
+    def network_total_bytes(self) -> float:
+        """Total bytes through the NICs (Figure 13c's metric)."""
+        return self.network_bytes_sent + self.network_bytes_received

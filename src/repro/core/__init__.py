@@ -1,0 +1,56 @@
+"""Experiment core: matrix runner, COST analysis, tuning, scalability."""
+
+from .cost import CostRow, cost_experiment, cost_factor
+from .findings import FINDINGS, Finding, verify_all_findings
+from .runner import ExperimentSpec, ResultGrid, paper_grid, run_cell, run_grid
+from .scalability import ScalingCurve, scaling_classification, scaling_curves
+from .sensitivity import (
+    PERTURBABLE_CONSTANTS,
+    SensitivityResult,
+    perturbed_costs,
+    sensitivity_analysis,
+)
+from .vertical_scaling import VerticalPoint, vertical_scaling_experiment
+from .weak_scaling import (
+    WeakScalingPoint,
+    weak_efficiency,
+    weak_scaling_dataset,
+    weak_scaling_experiment,
+)
+from .tuning import (
+    CoreStudyResult,
+    graphlab_core_study,
+    graphx_partition_sweep,
+    recommended_graphx_partitions,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultGrid",
+    "run_cell",
+    "run_grid",
+    "paper_grid",
+    "CostRow",
+    "cost_factor",
+    "cost_experiment",
+    "Finding",
+    "FINDINGS",
+    "verify_all_findings",
+    "VerticalPoint",
+    "PERTURBABLE_CONSTANTS",
+    "SensitivityResult",
+    "perturbed_costs",
+    "sensitivity_analysis",
+    "vertical_scaling_experiment",
+    "ScalingCurve",
+    "scaling_curves",
+    "scaling_classification",
+    "CoreStudyResult",
+    "graphlab_core_study",
+    "graphx_partition_sweep",
+    "recommended_graphx_partitions",
+    "WeakScalingPoint",
+    "weak_scaling_dataset",
+    "weak_scaling_experiment",
+    "weak_efficiency",
+]

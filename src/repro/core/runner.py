@@ -1,0 +1,126 @@
+"""The experiment matrix runner (§4, Table 2).
+
+Runs system x workload x dataset x cluster-size cells and collects them
+into a :class:`ResultGrid` — the in-memory form of the paper's result
+figures, from which the bench harness prints each figure's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cluster import CLUSTER_SIZES, ClusterSpec
+from ..datasets.registry import Dataset, load_dataset
+from ..engines import make_engine, systems_for_workload, workload_for
+from ..engines.base import Engine, RunResult
+
+__all__ = ["ExperimentSpec", "ResultGrid", "run_cell", "run_grid"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One slice of the experiment matrix."""
+
+    systems: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    datasets: Tuple[str, ...]
+    cluster_sizes: Tuple[int, ...] = CLUSTER_SIZES
+    dataset_size: str = "small"
+
+
+@dataclass
+class ResultGrid:
+    """All cells of one experiment, addressable like the paper's figures."""
+
+    cells: Dict[Tuple[str, str, str, int], RunResult] = field(default_factory=dict)
+
+    def put(self, result: RunResult) -> None:
+        """Store one run."""
+        key = (result.system, result.workload, result.dataset, result.cluster_size)
+        self.cells[key] = result
+
+    def get(
+        self, system: str, workload: str, dataset: str, cluster_size: int
+    ) -> Optional[RunResult]:
+        """Fetch one cell, or None when it was not run."""
+        return self.cells.get((system, workload, dataset, cluster_size))
+
+    def cell_text(
+        self, system: str, workload: str, dataset: str, cluster_size: int
+    ) -> str:
+        """The printable cell: seconds, a failure code, or '-'."""
+        result = self.get(system, workload, dataset, cluster_size)
+        return result.cell() if result is not None else "-"
+
+    def completed(self) -> List[RunResult]:
+        """All successful runs."""
+        return [r for r in self.cells.values() if r.ok]
+
+    def failures(self) -> List[RunResult]:
+        """All failed runs."""
+        return [r for r in self.cells.values() if not r.ok]
+
+    def best_system(
+        self, workload: str, dataset: str, cluster_size: int,
+        end_to_end: bool = True,
+    ) -> Optional[RunResult]:
+        """The winning system for one (workload, dataset, size) column."""
+        candidates = [
+            r for (s, w, d, c), r in self.cells.items()
+            if w == workload and d == dataset and c == cluster_size and r.ok
+        ]
+        if not candidates:
+            return None
+        metric = (lambda r: r.total_time) if end_to_end else (lambda r: r.execute_time)
+        return min(candidates, key=metric)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def run_cell(
+    system: str,
+    workload_name: str,
+    dataset: Dataset,
+    cluster_size: int,
+) -> RunResult:
+    """Run one experiment cell."""
+    engine = make_engine(system)
+    workload = workload_for(engine, workload_name, dataset)
+    return engine.run(dataset, workload, ClusterSpec(cluster_size))
+
+
+def run_grid(spec: ExperimentSpec, verbose: bool = False) -> ResultGrid:
+    """Run the full matrix described by ``spec``."""
+    grid = ResultGrid()
+    for dataset_name in spec.datasets:
+        dataset = load_dataset(dataset_name, spec.dataset_size)
+        for workload_name in spec.workloads:
+            for cluster_size in spec.cluster_sizes:
+                for system in spec.systems:
+                    result = run_cell(system, workload_name, dataset, cluster_size)
+                    grid.put(result)
+                    if verbose:
+                        print(
+                            f"{system:>9s} {workload_name:>8s} {dataset_name:>8s} "
+                            f"@{cluster_size:<3d} -> {result.cell()}"
+                        )
+    return grid
+
+
+def paper_grid(
+    workload_name: str,
+    datasets: Sequence[str] = ("twitter", "uk0705", "wrn"),
+    cluster_sizes: Sequence[int] = CLUSTER_SIZES,
+    dataset_size: str = "small",
+) -> ResultGrid:
+    """The result grid of one of Figures 6-9: one workload, all systems."""
+    spec = ExperimentSpec(
+        systems=systems_for_workload(workload_name),
+        workloads=(workload_name,),
+        datasets=tuple(datasets),
+        cluster_sizes=tuple(cluster_sizes),
+        dataset_size=dataset_size,
+    )
+    return run_grid(spec)

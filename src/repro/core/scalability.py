@@ -1,0 +1,80 @@
+"""Strong-scaling analysis (§5.12).
+
+The paper runs fixed datasets on growing clusters ("strong, horizontal"
+scalability in LDBC's taxonomy). The analysis here computes speedup
+curves and classifies each system's scaling behaviour the way §5.12
+describes it: Blogel, Giraph, Gelly, and GraphLab improve steadily;
+GraphX (stragglers) and Vertica (shuffle growth) do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import ResultGrid
+
+__all__ = ["ScalingCurve", "scaling_curves", "scaling_classification"]
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """Total response time per cluster size for one (system, workload, dataset)."""
+
+    system: str
+    workload: str
+    dataset: str
+    points: Tuple[Tuple[int, float], ...]   # (cluster size, seconds)
+
+    def speedups(self) -> Dict[int, float]:
+        """Speedup relative to the smallest completed cluster size."""
+        if not self.points:
+            return {}
+        base_size, base_time = self.points[0]
+        return {size: base_time / time for size, time in self.points if time > 0}
+
+    def is_steady_improvement(self, tolerance: float = 0.10) -> bool:
+        """True when time never degrades by more than ``tolerance``."""
+        times = [t for _, t in self.points]
+        return all(b <= a * (1 + tolerance) for a, b in zip(times, times[1:]))
+
+
+def scaling_curves(
+    grid: ResultGrid,
+    workload: str,
+    dataset: str,
+    systems: Optional[Sequence[str]] = None,
+    cluster_sizes: Sequence[int] = (16, 32, 64, 128),
+) -> List[ScalingCurve]:
+    """Extract per-system scaling curves from a result grid."""
+    keys = systems if systems is not None else sorted(
+        {s for (s, w, d, _c) in grid.cells if w == workload and d == dataset}
+    )
+    curves = []
+    for system in keys:
+        points = []
+        for size in cluster_sizes:
+            result = grid.get(system, workload, dataset, size)
+            if result is not None and result.ok:
+                points.append((size, result.total_time))
+        if points:
+            curves.append(
+                ScalingCurve(
+                    system=system, workload=workload, dataset=dataset,
+                    points=tuple(points),
+                )
+            )
+    return curves
+
+
+def scaling_classification(curves: Sequence[ScalingCurve]) -> Dict[str, str]:
+    """Label each system 'steady' or 'irregular' per §5.12's reading."""
+    labels: Dict[str, str] = {}
+    for curve in curves:
+        if len(curve.points) < 2:
+            labels[curve.system] = "insufficient-data"
+        elif curve.is_steady_improvement():
+            labels[curve.system] = "steady"
+        else:
+            labels[curve.system] = "irregular"
+    return labels

@@ -1,0 +1,96 @@
+"""The paper's system-tuning experiments and heuristics (§4.4, §5).
+
+Three tuning studies get first-class functions here:
+
+* :func:`graphlab_core_study` — Figure 1: give GraphLab's compute path
+  all 4 cores instead of the default 2 (synchronous gains ~40 %,
+  asynchronous does not benefit).
+* :func:`graphx_partition_sweep` — Figure 2 / Table 5: how GraphX's
+  partition count changes PageRank time on a given cluster.
+* :func:`recommended_graphx_partitions` — the paper's tuning rule:
+  one partition per HDFS block, capped at twice the core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cluster import ClusterSpec
+from ..datasets.registry import Dataset, load_dataset
+from ..engines import workload_for
+from ..engines.base import RunResult
+from ..engines.graphlab import GraphLabEngine
+from ..engines.spark import GraphXEngine, default_partitions, tuned_partitions
+
+__all__ = [
+    "CoreStudyResult",
+    "graphlab_core_study",
+    "graphx_partition_sweep",
+    "recommended_graphx_partitions",
+]
+
+
+@dataclass(frozen=True)
+class CoreStudyResult:
+    """Figure 1's bars: execution time by (mode, compute cores)."""
+
+    mode: str
+    compute_cores: int
+    execute_seconds: float
+
+
+def graphlab_core_study(
+    dataset_name: str = "twitter",
+    cluster_size: int = 16,
+    iterations: int = 30,
+    dataset_size: str = "small",
+) -> List[CoreStudyResult]:
+    """Figure 1: sync/async x {2 default cores, all 4 cores}."""
+    dataset = load_dataset(dataset_name, dataset_size)
+    results: List[CoreStudyResult] = []
+    for mode in ("sync", "async"):
+        for cores in (2, 4):
+            engine = GraphLabEngine(
+                mode=mode, partitioning="random", stop="iterations",
+                compute_cores=cores,
+            )
+            workload = workload_for(engine, "pagerank", dataset)
+            workload.max_iterations = iterations
+            run = engine.run(dataset, workload, ClusterSpec(cluster_size))
+            results.append(
+                CoreStudyResult(
+                    mode=mode, compute_cores=cores,
+                    execute_seconds=run.execute_time,
+                )
+            )
+    return results
+
+
+def graphx_partition_sweep(
+    dataset_name: str,
+    cluster_size: int,
+    partition_counts: Sequence[int],
+    dataset_size: str = "small",
+) -> Dict[int, RunResult]:
+    """Figure 2: PageRank response time vs the partition count."""
+    dataset = load_dataset(dataset_name, dataset_size)
+    results: Dict[int, RunResult] = {}
+    for count in partition_counts:
+        engine = GraphXEngine(num_partitions=count, partition_policy="fixed")
+        workload = workload_for(engine, "pagerank", dataset)
+        results[count] = engine.run(dataset, workload, ClusterSpec(cluster_size))
+    return results
+
+
+def recommended_graphx_partitions(
+    dataset: Dataset, cluster_size: int, cores_per_machine: int = 4
+) -> int:
+    """The paper's rule (§5.6): #blocks, but at most twice the cores.
+
+    Below the core count the cluster is under-utilized; far above the
+    block count Spark re-reads blocks. Table 5 records the counts this
+    rule produced.
+    """
+    total_cores = (cluster_size - 1) * cores_per_machine
+    return tuned_partitions(dataset, total_cores)

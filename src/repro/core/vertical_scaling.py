@@ -1,0 +1,84 @@
+"""Vertical scalability: the second dimension the paper declines.
+
+§5.12: "Our study does not include vertical scalability experiments
+because all our systems were introduced as parallel shared-nothing
+systems." In the simulator nothing stops us: hold the cluster at a
+fixed machine count and vary the per-machine resources (cores, and
+optionally memory), LDBC-style.
+
+The interesting output is where vertical scaling stops helping: compute
+-bound phases shrink with cores, but barriers, network, and disk do
+not — so the speedup saturates hardest for the systems whose cost is
+coordination (the road-network traversals) and least for pure
+computation (PageRank on a fat power-law graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from ..cluster import ClusterSpec, R3_XLARGE
+from ..datasets import load_dataset
+from ..engines import make_engine, workload_for
+from ..engines.base import RunResult
+
+__all__ = ["VerticalPoint", "vertical_scaling_experiment"]
+
+
+@dataclass(frozen=True)
+class VerticalPoint:
+    """One (cores per machine) measurement at a fixed machine count."""
+
+    cores: int
+    memory_gb: float
+    result: RunResult
+
+    @property
+    def time(self) -> float:
+        """Total response time (inf on failure)."""
+        return self.result.total_time if self.result.ok else float("inf")
+
+
+def vertical_scaling_experiment(
+    system: str,
+    workload_name: str,
+    dataset_name: str,
+    cores_options: Sequence[int] = (2, 4, 8, 16),
+    machines: int = 16,
+    scale_memory: bool = False,
+    dataset_size: str = "small",
+) -> List[VerticalPoint]:
+    """Vary per-machine cores (instance size) at a fixed machine count.
+
+    ``scale_memory=True`` also scales memory with the core count, like
+    moving up the r3 instance family (r3.xlarge → r3.2xlarge → ...).
+    """
+    dataset = load_dataset(dataset_name, dataset_size)
+    points: List[VerticalPoint] = []
+    for cores in cores_options:
+        if cores < 1:
+            raise ValueError("cores must be positive")
+        factor = cores / R3_XLARGE.cores
+        machine = replace(
+            R3_XLARGE,
+            name=f"r3-like-{cores}core",
+            cores=cores,
+            memory_bytes=(
+                int(R3_XLARGE.memory_bytes * factor)
+                if scale_memory else R3_XLARGE.memory_bytes
+            ),
+        )
+        engine = make_engine(system)
+        workload = workload_for(engine, workload_name, dataset)
+        result = engine.run(
+            dataset, workload, ClusterSpec(machines, machine=machine)
+        )
+        points.append(
+            VerticalPoint(
+                cores=cores,
+                memory_gb=machine.memory_bytes / 1024**3,
+                result=result,
+            )
+        )
+    return points

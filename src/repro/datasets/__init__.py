@@ -1,0 +1,27 @@
+"""Synthetic, paper-shaped datasets and the dataset registry."""
+
+from .generators import powerlaw_social_graph, road_network_graph, web_host_graph
+from .registry import (
+    DATASET_NAMES,
+    PAPER_PROFILES,
+    SIZE_NAMES,
+    Dataset,
+    PaperProfile,
+    dataset_names,
+    load_dataset,
+    register_dataset,
+)
+
+__all__ = [
+    "powerlaw_social_graph",
+    "road_network_graph",
+    "web_host_graph",
+    "Dataset",
+    "PaperProfile",
+    "DATASET_NAMES",
+    "SIZE_NAMES",
+    "PAPER_PROFILES",
+    "load_dataset",
+    "register_dataset",
+    "dataset_names",
+]

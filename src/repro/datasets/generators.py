@@ -1,0 +1,204 @@
+"""Synthetic graph generators shaped like the paper's four datasets.
+
+The paper uses Twitter (social), World Road Network, UK-2007-05 (web),
+and ClueWeb (web) — up to 42.5 B edges. We cannot ship those, so each
+generator reproduces the *performance-determining characteristics* the
+paper calls out (section 4.3 and Table 3):
+
+* power-law degree distribution with an extreme maximum degree and a
+  single giant component for the social graph;
+* bounded degree (max 9) and an enormous relative diameter for the road
+  network;
+* power-law plus strong host locality (URL-prefix clusters) for the web
+  graphs.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.structures import Graph
+
+__all__ = [
+    "powerlaw_social_graph",
+    "road_network_graph",
+    "web_host_graph",
+]
+
+
+def _zipf_degrees(
+    rng: np.random.Generator,
+    num_vertices: int,
+    avg_degree: float,
+    exponent: float,
+    max_degree: int,
+) -> np.ndarray:
+    """Sample a degree sequence with a Zipf tail, rescaled to avg_degree."""
+    # Pareto tail, then clip and rescale so the mean hits the target.
+    raw = (rng.pareto(exponent - 1.0, size=num_vertices) + 1.0)
+    raw = np.minimum(raw, max_degree)
+    degrees = raw * (avg_degree / raw.mean())
+    degrees = np.minimum(np.round(degrees), max_degree).astype(np.int64)
+    return np.maximum(degrees, 0)
+
+
+def powerlaw_social_graph(
+    num_vertices: int,
+    avg_degree: float = 30.0,
+    exponent: float = 2.0,
+    max_degree_fraction: float = 0.07,
+    seed: int = 1,
+    name: str = "social",
+) -> Graph:
+    """A Twitter-shaped graph: power-law, giant component, huge hubs.
+
+    ``max_degree_fraction`` bounds the largest hub as a fraction of |V|
+    (Twitter's max degree 2.9 M is ~7 % of its 41.65 M vertices, the
+    property that breaks edge-cut partitioning in the paper).
+    """
+    if num_vertices < 2:
+        raise ValueError("social graph needs at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    max_degree = max(2, int(num_vertices * max_degree_fraction))
+    out_deg = _zipf_degrees(rng, num_vertices, avg_degree, exponent, max_degree)
+
+    # Preferential attachment for targets: weight ∝ (in-)popularity drawn
+    # from the same power law, so in-degrees are heavy-tailed too.
+    popularity = (rng.pareto(exponent - 1.0, size=num_vertices) + 1.0)
+    popularity /= popularity.sum()
+
+    total = int(out_deg.sum())
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64), out_deg)
+    dst = rng.choice(num_vertices, size=total, p=popularity).astype(np.int64)
+
+    # Force the top hub to actually reach max_degree followers: reassign a
+    # slab of targets to vertex 0 (the "celebrity").
+    hub_edges = min(max_degree, total)
+    if hub_edges:
+        dst[:hub_edges] = 0
+
+    # Giant-component backbone: a random ring through every vertex makes
+    # the graph weakly connected (Twitter has one large component, §4.4.1).
+    ring = rng.permutation(num_vertices).astype(np.int64)
+    backbone = np.column_stack([ring, np.roll(ring, -1)])
+
+    # A few self-edges: the paper's real graphs contain them and they are
+    # what breaks GraphLab's PageRank (§3.1.1).
+    num_self = max(1, num_vertices // 200)
+    self_ids = rng.choice(num_vertices, size=num_self, replace=False).astype(np.int64)
+    self_edges = np.column_stack([self_ids, self_ids])
+
+    edges = np.concatenate([np.column_stack([src, dst]), backbone, self_edges])
+    return Graph(num_vertices, edges, name=name)
+
+
+def road_network_graph(
+    width: int,
+    height: int,
+    missing_fraction: float = 0.03,
+    extra_fraction: float = 0.01,
+    seed: int = 2,
+    name: str = "road",
+) -> Graph:
+    """A road-network-shaped graph: a sparse 2-D lattice strip.
+
+    Vertices are grid intersections; edges run both directions between
+    neighbors. Degrees are bounded (≤ 8 before extras, ≤ 9 after — the
+    paper's WRN max degree is 9) and the diameter is Θ(width + height),
+    which is what makes every O(diameter) workload explode on it.
+    """
+    if width < 2 or height < 1:
+        raise ValueError("road network needs width >= 2, height >= 1")
+    rng = np.random.default_rng(seed)
+    n = width * height
+    idx = np.arange(n, dtype=np.int64).reshape(height, width)
+
+    horiz = np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    vert = np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    undirected = np.concatenate([horiz, vert])
+
+    # Drop a few road segments (rivers, dead ends), but never the ones on
+    # the first row: that row is a spine that keeps the graph connected,
+    # so WCC has one dominant component like the paper's WRN.
+    spine = (undirected[:, 0] < width) & (undirected[:, 1] < width)
+    drop = (rng.random(len(undirected)) < missing_fraction) & ~spine
+    undirected = undirected[~drop]
+
+    # A few extra diagonal connectors model highway ramps and create the
+    # occasional degree-9 intersection.
+    num_extra = int(len(undirected) * extra_fraction)
+    if num_extra and height > 1 and width > 1:
+        r = rng.integers(0, height - 1, size=num_extra)
+        c = rng.integers(0, width - 1, size=num_extra)
+        diag = np.column_stack([idx[r, c], idx[r + 1, c + 1]])
+        undirected = np.concatenate([undirected, diag])
+
+    edges = np.concatenate([undirected, undirected[:, ::-1]])
+    return Graph(n, edges, name=name)
+
+
+def web_host_graph(
+    num_hosts: int,
+    pages_per_host: int,
+    intra_avg_degree: float = 28.0,
+    inter_avg_degree: float = 7.0,
+    exponent: float = 2.1,
+    seed: int = 3,
+    name: str = "web",
+) -> Graph:
+    """A web-shaped graph: power-law pages grouped into hosts.
+
+    Most links stay within a host (URL-prefix locality — the property
+    Blogel's dataset-specific partitioners exploit and that makes Auto
+    partitioning shine on UK0705 in Table 4); a smaller fraction cross
+    hosts, preferentially toward hub hosts.
+    """
+    if num_hosts < 1 or pages_per_host < 2:
+        raise ValueError("web graph needs >= 1 host and >= 2 pages per host")
+    rng = np.random.default_rng(seed)
+    n = num_hosts * pages_per_host
+    host_of = np.arange(n, dtype=np.int64) // pages_per_host
+
+    max_degree = max(2, int(pages_per_host * 0.9))
+    intra_deg = _zipf_degrees(rng, n, intra_avg_degree, exponent, max_degree)
+    src_intra = np.repeat(np.arange(n, dtype=np.int64), intra_deg)
+    # Intra-host target: uniform page within the source's host, skewed to
+    # low page offsets (host front pages are hubs).
+    offsets = np.minimum(
+        rng.pareto(1.5, size=len(src_intra)).astype(np.int64), pages_per_host - 1
+    )
+    dst_intra = host_of[src_intra] * pages_per_host + offsets
+
+    inter_count = int(n * inter_avg_degree)
+    src_inter = rng.integers(0, n, size=inter_count).astype(np.int64)
+    host_pop = (rng.pareto(exponent - 1.0, size=num_hosts) + 1.0)
+    host_pop /= host_pop.sum()
+    dst_hosts = rng.choice(num_hosts, size=inter_count, p=host_pop)
+    dst_inter = dst_hosts.astype(np.int64) * pages_per_host + np.minimum(
+        rng.pareto(1.5, size=inter_count).astype(np.int64), pages_per_host - 1
+    )
+
+    # Host-level ring keeps the web weakly connected.
+    hosts = np.arange(num_hosts, dtype=np.int64)
+    backbone = np.column_stack(
+        [hosts * pages_per_host, np.roll(hosts, -1) * pages_per_host]
+    )
+
+    # Self-links exist in real crawls too.
+    num_self = max(1, n // 300)
+    self_ids = rng.choice(n, size=num_self, replace=False).astype(np.int64)
+    self_edges = np.column_stack([self_ids, self_ids])
+
+    edges = np.concatenate(
+        [
+            np.column_stack([src_intra, dst_intra]),
+            np.column_stack([src_inter, dst_inter]),
+            backbone,
+            self_edges,
+        ]
+    )
+    return Graph(n, edges, name=name)

@@ -1,0 +1,115 @@
+"""The eight systems under study (plus the single-thread COST baseline).
+
+``make_engine`` builds an engine from its figure abbreviation;
+``systems_for_workload`` returns the lineup each result grid uses
+(PageRank adds the tolerance-mode GraphLab variants, the other grids
+use the iteration-mode lineup).
+"""
+
+from typing import Dict, List
+
+from .base import (Engine, RunResult, WORKLOAD_NAMES, EXTENSION_WORKLOADS,
+                   iteration_scale,
+                   make_workload, workload_for)
+from .blogel import BlogelBEngine, BlogelVEngine
+from .gelly import GellyEngine
+from .giraph import GiraphEngine
+from .giraphpp import GiraphPlusPlusEngine
+from .graphlab import GraphLabEngine
+from .hadoop import HadoopEngine, HaLoopEngine
+from .single_thread import (
+    SingleThreadEngine,
+    direction_optimizing_bfs,
+    gap_pagerank,
+    shiloach_vishkin_wcc,
+)
+from .spark import GraphXEngine, default_partitions, partition_placement, tuned_partitions
+from .vertica import VerticaEngine
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "WORKLOAD_NAMES",
+    "EXTENSION_WORKLOADS",
+    "make_workload",
+    "workload_for",
+    "iteration_scale",
+    "make_engine",
+    "systems_for_workload",
+    "ENGINE_KEYS",
+    "GRID_SYSTEMS",
+    "PAGERANK_SYSTEMS",
+    "BlogelVEngine",
+    "BlogelBEngine",
+    "GiraphEngine",
+    "GiraphPlusPlusEngine",
+    "GraphLabEngine",
+    "HadoopEngine",
+    "HaLoopEngine",
+    "GraphXEngine",
+    "VerticaEngine",
+    "GellyEngine",
+    "SingleThreadEngine",
+    "gap_pagerank",
+    "direction_optimizing_bfs",
+    "shiloach_vishkin_wcc",
+    "default_partitions",
+    "tuned_partitions",
+    "partition_placement",
+]
+
+
+def _graphlab(mode: str, part: str, stop: str) -> GraphLabEngine:
+    return GraphLabEngine(mode=mode, partitioning=part, stop=stop)
+
+
+_FACTORIES = {
+    "BB": BlogelBEngine,
+    "BB*": lambda: BlogelBEngine(skip_hdfs_roundtrip=True),
+    "BB-coord": lambda: BlogelBEngine(partitioner="coordinate"),
+    "BB-url": lambda: BlogelBEngine(partitioner="url-prefix"),
+    "G++": GiraphPlusPlusEngine,
+    "S-h2m": lambda: GraphXEngine(wcc_variant="hash-to-min"),
+    "BV": BlogelVEngine,
+    "G": GiraphEngine,
+    "GL-S-R-I": lambda: _graphlab("sync", "random", "iterations"),
+    "GL-S-A-I": lambda: _graphlab("sync", "auto", "iterations"),
+    "GL-S-R-T": lambda: _graphlab("sync", "random", "tolerance"),
+    "GL-S-A-T": lambda: _graphlab("sync", "auto", "tolerance"),
+    "GL-A-R-T": lambda: _graphlab("async", "random", "tolerance"),
+    "GL-A-A-T": lambda: _graphlab("async", "auto", "tolerance"),
+    "HD": HadoopEngine,
+    "HL": HaLoopEngine,
+    "S": GraphXEngine,
+    "V": VerticaEngine,
+    "FG": GellyEngine,
+    "ST": SingleThreadEngine,
+}
+
+ENGINE_KEYS = tuple(_FACTORIES)
+
+
+def make_engine(key: str) -> Engine:
+    """Instantiate an engine from its figure abbreviation."""
+    try:
+        return _FACTORIES[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {key!r}; expected one of {ENGINE_KEYS}"
+        ) from None
+
+
+#: the lineup of Figures 5, 7, 8, 9 (K-hop, SSSP, WCC and the Twitter grid)
+GRID_SYSTEMS = ("BB", "BV", "G", "GL-S-A-I", "GL-S-R-I", "HD", "HL", "S", "FG")
+
+#: Figure 6's PageRank lineup adds the tolerance/async GraphLab variants
+PAGERANK_SYSTEMS = (
+    "BB", "BV", "G",
+    "GL-A-A-T", "GL-A-R-T", "GL-S-A-I", "GL-S-A-T", "GL-S-R-I", "GL-S-R-T",
+    "HD", "HL", "S", "FG",
+)
+
+
+def systems_for_workload(workload_name: str) -> tuple:
+    """The paper's system lineup for a workload's result grid."""
+    return PAGERANK_SYSTEMS if workload_name == "pagerank" else GRID_SYSTEMS

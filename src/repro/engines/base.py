@@ -1,0 +1,309 @@
+"""Engine abstraction: how a system runs a workload on the cluster.
+
+Every system under study becomes an :class:`Engine` subclass that
+executes the *same* workload supersteps (so answers are exact) while
+charging simulated time, memory, and network according to its own
+computation model. A run produces a :class:`RunResult` with the
+paper's four performance metrics (§4.2): data-loading time,
+execution time, result-saving time, and total response time — plus the
+resource-utilization summary and the failure cell (OOM/TO/MPI/SHFL)
+when the run dies.
+
+Scaling: counts observed on the small synthetic graph are converted to
+paper units through the dataset's vertex/edge scale factors, and —
+for the O(diameter) traversal workloads — superstep costs are charged
+``iteration_scale`` times, the ratio of the real dataset's diameter to
+the synthetic one's, so a 48 000-hop road network times out exactly
+where the paper's does.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cluster import Cluster, ClusterSpec, FailureKind, SimulatedFailure
+from ..datasets.registry import Dataset
+from ..graph.stats import estimate_diameter
+from ..graph.structures import Graph
+from ..workloads.base import Workload, WorkloadKind, WorkloadState
+from ..workloads.pagerank import INITIAL_RANK, PageRank
+from ..workloads.sssp import SSSP, KHop
+from ..workloads.wcc import WCC
+
+__all__ = [
+    "RunResult",
+    "Engine",
+    "make_workload",
+    "iteration_scale",
+    "WORKLOAD_NAMES",
+    "EXTENSION_WORKLOADS",
+]
+
+WORKLOAD_NAMES = ("pagerank", "wcc", "sssp", "khop")
+#: extension workloads runnable on every engine but outside the paper's grids
+EXTENSION_WORKLOADS = ("cdlp",)
+
+
+@dataclass
+class RunResult:
+    """One cell of the paper's result grids."""
+
+    system: str                   # the figure abbreviation, e.g. "BV", "GL-S-R-I"
+    workload: str
+    dataset: str
+    cluster_size: int
+    load_time: float = 0.0
+    execute_time: float = 0.0
+    save_time: float = 0.0
+    overhead_time: float = 0.0
+    iterations: int = 0
+    failure: Optional[FailureKind] = None
+    failure_detail: str = ""
+    answer: Optional[np.ndarray] = None
+    network_bytes: float = 0.0
+    peak_memory_bytes: float = 0.0
+    total_memory_bytes: float = 0.0
+    per_iteration_time: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed."""
+        return self.failure is None
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end response time (load + execute + save + overhead)."""
+        return self.load_time + self.execute_time + self.save_time + self.overhead_time
+
+    def cell(self) -> str:
+        """The grid cell the paper would print: seconds or a failure code."""
+        return f"{self.total_time:.0f}" if self.ok else str(self.failure)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else str(self.failure)
+        return (
+            f"RunResult({self.system} {self.workload}/{self.dataset}"
+            f"@{self.cluster_size}: {status}, total={self.total_time:.1f}s)"
+        )
+
+
+@lru_cache(maxsize=None)
+def _measured_diameter(name: str, size: str) -> int:
+    from ..datasets.registry import load_dataset
+
+    return max(1, estimate_diameter(load_dataset(name, size).graph))
+
+
+def iteration_scale(dataset: Dataset, workload: Workload) -> float:
+    """Paper supersteps per synthetic superstep.
+
+    Traversal workloads (SSSP, WCC) need O(diameter) supersteps; our
+    synthetic graphs have the paper datasets' shape but not their hop
+    counts, so each observed superstep stands in for
+    ``paper_diameter / synthetic_diameter`` paper supersteps. Analytic
+    workloads and the fixed-K K-hop are diameter-independent (scale 1).
+    """
+    if workload.kind is not WorkloadKind.TRAVERSAL or isinstance(workload, KHop):
+        return 1.0
+    measured = _measured_diameter(dataset.name, dataset.size)
+    return max(1.0, dataset.profile.diameter / measured)
+
+
+def make_workload(
+    name: str,
+    dataset: Dataset,
+    stop_mode: str = "tolerance",
+    approximate: bool = False,
+    pagerank_iterations: int = 30,
+    wcc_variant: str = "hashmin",
+) -> Workload:
+    """Build a workload instance configured for a dataset.
+
+    The paper's PageRank tolerance is the initial rank (1.0) *at paper
+    scale*; ranks on the synthetic graph are smaller by the vertex scale
+    factor, so the tolerance shrinks by the same factor to preserve the
+    iteration count.
+    """
+    if name == "pagerank":
+        tol = INITIAL_RANK / dataset.vertex_scale
+        return PageRank(
+            stop_mode=stop_mode,
+            max_iterations=pagerank_iterations,
+            tolerance=tol,
+            approximate=approximate,
+        )
+    if name == "wcc":
+        if wcc_variant == "hash-to-min":
+            from ..workloads.wcc import HashToMinWCC
+
+            return HashToMinWCC()
+        return WCC()
+    if name == "sssp":
+        return SSSP(source=dataset.sssp_source)
+    if name == "khop":
+        return KHop(source=dataset.sssp_source, k=3)
+    if name == "cdlp":
+        from ..workloads.cdlp import CDLP
+
+        return CDLP()
+    raise KeyError(
+        f"unknown workload {name!r}; expected one of "
+        f"{WORKLOAD_NAMES + EXTENSION_WORKLOADS}"
+    )
+
+
+def workload_for(engine: "Engine", name: str, dataset: Dataset) -> Workload:
+    """Build a workload configured the way ``engine`` runs it."""
+    return make_workload(
+        name,
+        dataset,
+        stop_mode=engine.pagerank_stop,
+        approximate=engine.pagerank_approximate and engine.pagerank_stop == "tolerance",
+        wcc_variant=engine.wcc_variant,
+    )
+
+
+class Engine(abc.ABC):
+    """A distributed graph processing system under evaluation."""
+
+    #: PageRank stop criterion this system uses by default ("tolerance"
+    #: or "iterations"; Giraph runs a fixed iteration count, §5.5)
+    pagerank_stop: str = "tolerance"
+    #: whether this system's tolerance-mode PageRank is the approximate,
+    #: opt-out variant (only GraphLab, §5.2)
+    pagerank_approximate: bool = False
+    #: WCC algorithm: "hashmin" (the default everywhere) or
+    #: "hash-to-min" (GraphFrames' fewer-iterations variant, §5.6)
+    wcc_variant: str = "hashmin"
+    #: Table 1's fault-tolerance mechanism: "checkpoint" (BSP systems),
+    #: "reexecution" (MapReduce family), or "none" (Vertica)
+    fault_tolerance: str = "checkpoint"
+    #: abbreviation used in the paper's figures ("BV", "G", "S", ...)
+    key: str = ""
+    #: full system name ("Giraph", "Blogel-V", ...)
+    display_name: str = ""
+    #: implementation language, for Table 1 and the §7 discussion
+    language: str = ""
+    #: Table 1 feature row
+    features: Dict[str, str] = {}
+    #: MPI engines run a rank on every machine including the master
+    uses_all_machines: bool = False
+    #: dataset text format the system ingests (§4.3)
+    input_format: str = "adj"
+
+    # -- template ---------------------------------------------------------
+
+    def workers_for(self, spec: ClusterSpec) -> int:
+        """Worker count on a given cluster."""
+        return spec.num_machines if self.uses_all_machines else spec.num_workers
+
+    def run(
+        self,
+        dataset: Dataset,
+        workload: Workload,
+        cluster_spec: ClusterSpec,
+    ) -> RunResult:
+        """Execute one experiment cell; failures become result codes."""
+        cluster = Cluster(cluster_spec, num_workers=self.workers_for(cluster_spec))
+        result = RunResult(
+            system=self.key,
+            workload=workload.name,
+            dataset=dataset.name,
+            cluster_size=cluster_spec.num_machines,
+        )
+        scale = iteration_scale(dataset, workload)
+        phase_start = 0.0
+        phase = "load"
+        try:
+            self._load(dataset, workload, cluster, result)
+            result.load_time = cluster.now - phase_start
+
+            phase, phase_start = "execute", cluster.now
+            state = self._execute(dataset, workload, cluster, result, scale)
+            result.execute_time = cluster.now - phase_start
+            result.answer = workload.answer(state)
+            result.iterations = state.iteration
+            if state.iteration:
+                result.per_iteration_time = result.execute_time / (
+                    state.iteration * scale
+                )
+
+            phase, phase_start = "save", cluster.now
+            self._save(dataset, workload, cluster, result, state)
+            result.save_time = cluster.now - phase_start
+
+            phase, phase_start = "overhead", cluster.now
+            self._overhead(dataset, cluster, result)
+            result.overhead_time += cluster.now - phase_start
+        except SimulatedFailure as failure:
+            result.failure = failure.kind
+            result.failure_detail = f"{phase}: {failure}"
+            elapsed = cluster.now - phase_start
+            if phase == "load":
+                result.load_time = elapsed
+            elif phase == "execute":
+                result.execute_time = elapsed
+            elif phase == "save":
+                result.save_time = elapsed
+        finally:
+            cluster.sample_memory()
+            result.network_bytes = cluster.tracker.network_total_bytes()
+            result.peak_memory_bytes = max(
+                cluster.memory.peak_bytes(m) for m in range(cluster.num_workers)
+            )
+            result.total_memory_bytes = cluster.memory.total_peak_bytes()
+            result.extras["tracker_peak_total"] = float(
+                cluster.tracker.total_memory_bytes()
+            )
+            cpu = cluster.tracker.cpu_totals()
+            result.extras["cpu_user_seconds"] = cpu["user"]
+            result.extras["cpu_system_seconds"] = cpu["system"]
+            result.extras["cpu_iowait_seconds"] = cpu["iowait"]
+            util = cluster.tracker.max_cpu_utilization()
+            result.extras["max_user_utilization"] = util["user"]
+            result.extras["max_iowait_utilization"] = util["iowait"]
+        return result
+
+    # -- phases implemented per engine -------------------------------------
+
+    @abc.abstractmethod
+    def _load(
+        self, dataset: Dataset, workload: Workload, cluster: Cluster,
+        result: RunResult,
+    ) -> None:
+        """Read the dataset, partition it, build in-memory structures."""
+
+    @abc.abstractmethod
+    def _execute(
+        self, dataset: Dataset, workload: Workload, cluster: Cluster,
+        result: RunResult, scale: float,
+    ) -> WorkloadState:
+        """Run the workload to completion; return its final state."""
+
+    def _save(
+        self, dataset: Dataset, workload: Workload, cluster: Cluster,
+        result: RunResult, state: WorkloadState,
+    ) -> None:
+        """Write results to HDFS (default: plain parallel write)."""
+        nbytes = workload.result_bytes_from_state(dataset.graph, state)
+        cluster.hdfs_write(nbytes * dataset.vertex_scale)
+
+    def _overhead(
+        self, dataset: Dataset, cluster: Cluster, result: RunResult
+    ) -> None:
+        """Framework start/stop cost outside the three main phases."""
+
+    # -- helpers ------------------------------------------------------------
+
+    def graph_for(self, dataset: Dataset, workload: Workload) -> Graph:
+        """The graph this engine actually computes on (quirks live here)."""
+        return dataset.graph
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(key={self.key!r})"

@@ -1,0 +1,54 @@
+"""Graph substrate: structures, text formats, and dataset statistics."""
+
+from .structures import EdgeListError, Graph, GraphBuilder, from_edges
+from .formats import (
+    FORMATS,
+    FormatError,
+    chunk_lines,
+    format_size_bytes,
+    read_adj,
+    read_adj_long,
+    read_edge_list,
+    read_graph,
+    write_adj,
+    write_adj_long,
+    write_edge_list,
+    write_graph,
+)
+from .stats import (
+    DatasetStats,
+    bfs_levels,
+    compute_stats,
+    degree_histogram,
+    effective_diameter,
+    estimate_diameter,
+    largest_wcc_fraction,
+    powerlaw_exponent_estimate,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "from_edges",
+    "EdgeListError",
+    "FORMATS",
+    "FormatError",
+    "read_graph",
+    "write_graph",
+    "read_adj",
+    "read_adj_long",
+    "read_edge_list",
+    "write_adj",
+    "write_adj_long",
+    "write_edge_list",
+    "chunk_lines",
+    "format_size_bytes",
+    "DatasetStats",
+    "compute_stats",
+    "bfs_levels",
+    "effective_diameter",
+    "estimate_diameter",
+    "degree_histogram",
+    "powerlaw_exponent_estimate",
+    "largest_wcc_fraction",
+]

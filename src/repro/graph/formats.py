@@ -1,0 +1,262 @@
+"""Text formats for graph datasets.
+
+The paper prepares each dataset in the format each system expects
+(section 4.3):
+
+* ``adj`` — adjacency list: ``<v> <n1> <n2> ...``; vertices without
+  out-edges may be omitted. Used by Hadoop, HaLoop, Giraph, GraphLab.
+* ``adj-long`` — every vertex has a line, and the first value after the
+  vertex id is its out-degree: ``<v> <deg> <n1> ...``. Required by
+  Blogel so it can create vertices that only have in-edges.
+* ``edge`` — one ``<src> <dst>`` pair per line. Used by GraphX and
+  Flink Gelly.
+
+Datasets are also split into same-sized chunks before loading to HDFS,
+because the C++ HDFS client used by Blogel/GraphLab spawns one reader
+thread per chunk (section 4.3). :func:`chunk_lines` models that split.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from .structures import Graph, GraphBuilder
+
+__all__ = [
+    "FORMATS",
+    "write_adj",
+    "write_adj_long",
+    "write_edge_list",
+    "read_adj",
+    "read_adj_long",
+    "read_edge_list",
+    "write_graph",
+    "read_graph",
+    "chunk_lines",
+    "format_size_bytes",
+    "FormatError",
+]
+
+FORMATS = ("adj", "adj-long", "edge")
+
+
+class FormatError(ValueError):
+    """Raised on malformed dataset text."""
+
+
+def _open_for_write(target: Union[str, Path, TextIO]):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="ascii"), True
+    return target, False
+
+
+def _lines(source: Union[str, Path, TextIO, Iterable[str]]) -> Iterator[str]:
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as fh:
+            yield from fh
+    elif isinstance(source, io.TextIOBase):
+        yield from source
+    else:
+        yield from source
+
+
+# -- writers -----------------------------------------------------------
+
+
+def write_adj(graph: Graph, target: Union[str, Path, TextIO]) -> int:
+    """Write the ``adj`` format. Returns the number of lines written.
+
+    Vertices with no out-edges are omitted, exactly as the paper's adj
+    datasets do — which is why Blogel cannot use this format.
+    """
+    fh, should_close = _open_for_write(target)
+    try:
+        lines = 0
+        for v in range(graph.num_vertices):
+            nbrs = graph.out_neighbors(v)
+            if nbrs.size == 0:
+                continue
+            fh.write(f"{v} " + " ".join(map(str, nbrs.tolist())) + "\n")
+            lines += 1
+        return lines
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_adj_long(graph: Graph, target: Union[str, Path, TextIO]) -> int:
+    """Write the ``adj-long`` format: every vertex, with explicit degree."""
+    fh, should_close = _open_for_write(target)
+    try:
+        for v in range(graph.num_vertices):
+            nbrs = graph.out_neighbors(v).tolist()
+            parts = [str(v), str(len(nbrs))] + [str(x) for x in nbrs]
+            fh.write(" ".join(parts) + "\n")
+        return graph.num_vertices
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_edge_list(graph: Graph, target: Union[str, Path, TextIO]) -> int:
+    """Write the ``edge`` format: one ``src dst`` pair per line."""
+    fh, should_close = _open_for_write(target)
+    try:
+        count = 0
+        for s, d in graph.edges():
+            fh.write(f"{s} {d}\n")
+            count += 1
+        return count
+    finally:
+        if should_close:
+            fh.close()
+
+
+# -- readers -----------------------------------------------------------
+
+
+def read_adj(source, name: str = "graph") -> Graph:
+    """Parse the ``adj`` format into a Graph."""
+    builder = GraphBuilder(name=name)
+    for lineno, line in enumerate(_lines(source), 1):
+        fields = line.split()
+        if not fields:
+            continue
+        try:
+            vertex = int(fields[0])
+            neighbors = [int(x) for x in fields[1:]]
+        except ValueError as exc:
+            raise FormatError(f"line {lineno}: non-integer field") from exc
+        builder.add_vertex(vertex)
+        for nbr in neighbors:
+            builder.add_edge(vertex, nbr)
+    return builder.build()
+
+
+def read_adj_long(source, name: str = "graph") -> Graph:
+    """Parse the ``adj-long`` format, validating the degree field.
+
+    Every vertex has its own line in this format, so vertex ids are
+    interned in *line order* before any neighbor is seen — a
+    write/read round-trip preserves vertex ids exactly (unlike ``adj``,
+    where a sink vertex's id can first appear as someone's neighbor).
+    """
+    builder = GraphBuilder(name=name)
+    parsed = []
+    for lineno, line in enumerate(_lines(source), 1):
+        fields = line.split()
+        if not fields:
+            continue
+        if len(fields) < 2:
+            raise FormatError(f"line {lineno}: adj-long needs at least vertex and degree")
+        try:
+            vertex, degree = int(fields[0]), int(fields[1])
+            neighbors = [int(x) for x in fields[2:]]
+        except ValueError as exc:
+            raise FormatError(f"line {lineno}: non-integer field") from exc
+        if degree != len(neighbors):
+            raise FormatError(
+                f"line {lineno}: declared degree {degree} but "
+                f"{len(neighbors)} neighbors listed"
+            )
+        builder.add_vertex(vertex)
+        parsed.append((vertex, neighbors))
+    for vertex, neighbors in parsed:
+        for nbr in neighbors:
+            builder.add_edge(vertex, nbr)
+    return builder.build()
+
+
+def read_edge_list(source, name: str = "graph") -> Graph:
+    """Parse the ``edge`` format into a Graph."""
+    builder = GraphBuilder(name=name)
+    for lineno, line in enumerate(_lines(source), 1):
+        fields = line.split()
+        if not fields:
+            continue
+        if len(fields) != 2:
+            raise FormatError(f"line {lineno}: edge format needs exactly 2 fields")
+        try:
+            builder.add_edge(int(fields[0]), int(fields[1]))
+        except ValueError as exc:
+            raise FormatError(f"line {lineno}: non-integer field") from exc
+    return builder.build()
+
+
+_WRITERS = {"adj": write_adj, "adj-long": write_adj_long, "edge": write_edge_list}
+_READERS = {"adj": read_adj, "adj-long": read_adj_long, "edge": read_edge_list}
+
+
+def write_graph(graph: Graph, target, fmt: str) -> int:
+    """Write ``graph`` in any named format. Returns lines written."""
+    if fmt not in _WRITERS:
+        raise FormatError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+    return _WRITERS[fmt](graph, target)
+
+
+def read_graph(source, fmt: str, name: str = "graph") -> Graph:
+    """Read a graph in any named format."""
+    if fmt not in _READERS:
+        raise FormatError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+    return _READERS[fmt](source, name=name)
+
+
+def chunk_lines(lines: List[str], num_chunks: int) -> List[List[str]]:
+    """Split dataset lines into ``num_chunks`` near-equal chunks.
+
+    Models the paper's pre-split of each input file so the HDFS C++
+    client can read with one thread per chunk.
+    """
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    size, extra = divmod(len(lines), num_chunks)
+    chunks: List[List[str]] = []
+    start = 0
+    for i in range(num_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(lines[start:end])
+        start = end
+    return chunks
+
+
+def format_size_bytes(graph: Graph, fmt: str) -> int:
+    """Size in bytes of the graph serialized in ``fmt``.
+
+    Used by the HDFS model to derive block counts (and hence GraphX's
+    default partition count, section 4.4.3) without materializing huge
+    strings for large graphs: the size is computed from digit counts.
+    """
+    if fmt not in FORMATS:
+        raise FormatError(f"unknown format {fmt!r}; expected one of {FORMATS}")
+    digits = _digit_lengths(graph)
+    if fmt == "edge":
+        src = graph.edge_sources()
+        # per line: len(src) + 1 space + len(dst) + 1 newline
+        return int(digits[src].sum() + digits[graph.edge_targets()].sum()) + 2 * graph.num_edges
+    out_deg = graph.out_degrees()
+    total = int(digits[graph.edge_targets()].sum())  # neighbor ids
+    if fmt == "adj":
+        present = out_deg > 0
+        total += int(digits[present.nonzero()[0]].sum())  # vertex ids
+        total += int(out_deg.sum())                        # separators
+        total += int(present.sum())                        # newlines
+        return total
+    # adj-long: every vertex has a line with id, degree, then neighbors
+    import numpy as np
+
+    deg_digits = np.char.str_len(out_deg.astype(str)).astype(int)
+    total += int(digits.sum()) + int(deg_digits.sum())
+    total += int(out_deg.sum()) + graph.num_vertices  # spaces after degree+nbrs
+    total += graph.num_vertices                        # newlines
+    return total
+
+
+def _digit_lengths(graph: Graph):
+    import numpy as np
+
+    ids = np.arange(graph.num_vertices, dtype=np.int64)
+    if ids.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.char.str_len(ids.astype(str)).astype(np.int64)

@@ -1,0 +1,36 @@
+"""Partitioning strategies: edge-cut, vertex-cut, and Voronoi blocks."""
+
+from .edge_cut import VertexPartition, random_vertex_partition
+from .vertex_cut import (
+    EdgePartition,
+    auto_method_for,
+    auto_partition,
+    grid_dimensions,
+    grid_partition,
+    oblivious_partition,
+    pds_partition,
+    pds_prime_for,
+    perfect_difference_set,
+    random_edge_partition,
+)
+from .dataset_specific import coordinate_partition, url_prefix_partition
+from .voronoi import BlockPartition, voronoi_partition
+
+__all__ = [
+    "VertexPartition",
+    "random_vertex_partition",
+    "EdgePartition",
+    "random_edge_partition",
+    "grid_partition",
+    "grid_dimensions",
+    "pds_partition",
+    "pds_prime_for",
+    "perfect_difference_set",
+    "oblivious_partition",
+    "auto_partition",
+    "auto_method_for",
+    "BlockPartition",
+    "voronoi_partition",
+    "coordinate_partition",
+    "url_prefix_partition",
+]

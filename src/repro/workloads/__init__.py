@@ -1,0 +1,32 @@
+"""The paper's four workloads plus reference oracles."""
+
+from .base import SuperstepStats, Workload, WorkloadKind, WorkloadState
+from .cdlp import CDLP, reference_cdlp
+from .pagerank import DAMPING, PageRank
+from .reference import (
+    reference_khop,
+    reference_pagerank,
+    reference_sssp,
+    reference_wcc,
+)
+from .sssp import SSSP, KHop
+from .wcc import WCC, HashToMinWCC
+
+__all__ = [
+    "Workload",
+    "WorkloadKind",
+    "WorkloadState",
+    "SuperstepStats",
+    "CDLP",
+    "reference_cdlp",
+    "PageRank",
+    "DAMPING",
+    "WCC",
+    "HashToMinWCC",
+    "SSSP",
+    "KHop",
+    "reference_pagerank",
+    "reference_wcc",
+    "reference_sssp",
+    "reference_khop",
+]

@@ -1,0 +1,118 @@
+"""Workload abstraction shared by every engine.
+
+The paper's four workloads (PageRank, WCC, SSSP, K-hop — §3) all fit
+the iterative message-passing pattern every evaluated system executes:
+active vertices send values along edges, values combine at the target,
+vertices update and decide whether to stay active. A
+:class:`Workload` exposes that pattern once, vectorized over the whole
+graph; each engine *orchestrates* the supersteps with its own cost,
+memory, and communication model, using the :class:`SuperstepStats` the
+workload reports (how many vertices computed, how many messages flowed,
+how many values changed).
+
+This keeps answers exact — every engine produces the true PageRank /
+components / distances, checkable against the plain reference
+implementations in :mod:`repro.workloads.reference`.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.structures import Graph
+
+__all__ = ["WorkloadKind", "SuperstepStats", "WorkloadState", "Workload"]
+
+
+class WorkloadKind(str, enum.Enum):
+    """The paper's workload taxonomy (§3)."""
+
+    ANALYTIC = "analytic"     # iterative over all vertices (PageRank, WCC)
+    TRAVERSAL = "traversal"   # frontier-based online queries (SSSP, K-hop)
+
+
+@dataclass(frozen=True)
+class SuperstepStats:
+    """What happened in one superstep — the engine cost model's input."""
+
+    iteration: int
+    active_vertices: int      # vertices that ran compute()
+    messages: int             # values sent along edges this superstep
+    updates: int              # vertices whose state changed
+    converged: bool           # true when this was the final superstep
+
+
+@dataclass
+class WorkloadState:
+    """Mutable per-run state: the value array plus the active frontier."""
+
+    values: np.ndarray
+    active: np.ndarray                  # bool[num_vertices]
+    iteration: int = 0
+    done: bool = False
+    history: List[SuperstepStats] = field(default_factory=list)
+    aux: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def active_count(self) -> int:
+        """Vertices active going into the next superstep."""
+        return int(np.count_nonzero(self.active))
+
+
+class Workload(abc.ABC):
+    """One of the paper's graph workloads, engine-independent."""
+
+    #: short name used in experiment grids ("pagerank", "wcc", ...)
+    name: str = ""
+    kind: WorkloadKind = WorkloadKind.ANALYTIC
+    #: WCC must see edges in both directions; systems without native
+    #: in-edge access pay a reverse-edge superstep and extra memory (§5.8)
+    needs_reverse_edges: bool = False
+    #: whether a message combiner applies (WCC's first superstep cannot
+    #: combine because messages discover in-neighbours, §5.8)
+    combinable: bool = True
+
+    @abc.abstractmethod
+    def init_state(self, graph: Graph) -> WorkloadState:
+        """Fresh state for a run over ``graph``."""
+
+    @abc.abstractmethod
+    def superstep(self, graph: Graph, state: WorkloadState) -> SuperstepStats:
+        """Advance one superstep, mutating ``state``; returns its stats."""
+
+    def run_to_completion(
+        self, graph: Graph, max_supersteps: int = 100_000
+    ) -> WorkloadState:
+        """Run supersteps until the workload converges (engine-free)."""
+        state = self.init_state(graph)
+        while not state.done:
+            if state.iteration >= max_supersteps:
+                raise RuntimeError(
+                    f"{self.name} exceeded {max_supersteps} supersteps"
+                )
+            self.superstep(graph, state)
+        return state
+
+    def answer(self, state: WorkloadState) -> np.ndarray:
+        """The per-vertex result array."""
+        return state.values
+
+    def result_bytes_per_vertex(self) -> int:
+        """Serialized result size (vertex id + value)."""
+        return 16
+
+    def result_bytes(self, graph: Graph) -> int:
+        """Total bytes the save phase writes."""
+        return graph.num_vertices * self.result_bytes_per_vertex()
+
+    def result_bytes_from_state(self, graph: Graph, state: WorkloadState) -> int:
+        """Save size given the finished state (traversals write less)."""
+        return self.result_bytes(graph)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

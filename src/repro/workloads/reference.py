@@ -1,0 +1,98 @@
+"""Plain sequential reference implementations — the test oracles.
+
+These are deliberately simple, direct implementations of the textbook
+algorithms; every engine's answers are validated against them. They are
+*not* the single-thread COST implementations (those live in
+:mod:`repro.engines.single_thread` and carry the GAP suite's
+optimizations, §5.13).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+import numpy as np
+
+from ..graph.structures import Graph
+from .pagerank import DAMPING, INITIAL_RANK
+
+__all__ = [
+    "reference_pagerank",
+    "reference_wcc",
+    "reference_sssp",
+    "reference_khop",
+]
+
+
+def reference_pagerank(
+    graph: Graph, iterations: int = 0, tolerance: float = INITIAL_RANK
+) -> np.ndarray:
+    """Power iteration; fixed ``iterations`` if > 0, else tolerance stop."""
+    n = graph.num_vertices
+    ranks = np.full(n, INITIAL_RANK, dtype=np.float64)
+    out_deg = graph.out_degrees().astype(np.float64)
+    src = graph.edge_sources()
+    dst = graph.edge_targets()
+    step = 0
+    while True:
+        contrib = np.zeros(n)
+        nz = out_deg > 0
+        contrib[nz] = ranks[nz] / out_deg[nz]
+        sums = np.zeros(n)
+        np.add.at(sums, dst, contrib[src])
+        new_ranks = DAMPING + (1.0 - DAMPING) * sums
+        change = np.abs(new_ranks - ranks).max() if n else 0.0
+        ranks = new_ranks
+        step += 1
+        if iterations > 0:
+            if step >= iterations:
+                return ranks
+        elif change < tolerance:
+            return ranks
+
+
+def reference_wcc(graph: Graph) -> np.ndarray:
+    """Component labels = min vertex id per weakly connected component."""
+    n = graph.num_vertices
+    labels = np.full(n, -1, dtype=np.int64)
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        members = []
+        stack = [start]
+        labels[start] = start
+        while stack:
+            v = stack.pop()
+            members.append(v)
+            for u in np.concatenate([graph.out_neighbors(v), graph.in_neighbors(v)]):
+                if labels[u] < 0:
+                    labels[u] = start
+                    stack.append(int(u))
+        smallest = min(members)
+        for v in members:
+            labels[v] = smallest
+    return labels
+
+
+def reference_sssp(graph: Graph, source: int) -> np.ndarray:
+    """BFS hop distances over out-edges; inf where unreachable."""
+    dist = np.full(graph.num_vertices, np.inf)
+    if graph.num_vertices == 0:
+        return dist
+    dist[source] = 0.0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in graph.out_neighbors(v):
+            if not np.isfinite(dist[u]):
+                dist[u] = dist[v] + 1.0
+                queue.append(int(u))
+    return dist
+
+
+def reference_khop(graph: Graph, source: int, k: int = 3) -> np.ndarray:
+    """BFS distances truncated at k hops; inf beyond the horizon."""
+    dist = reference_sssp(graph, source)
+    dist[dist > k] = np.inf
+    return dist

@@ -1,0 +1,117 @@
+"""Single-source shortest paths and K-hop (§3.3).
+
+SSSP is a BFS-style traversal: at iteration i the frontier holds the
+vertices i hops from the source, so the iteration count is bounded by
+the source's eccentricity — O(diameter). K-hop is SSSP truncated at K
+(the paper fixes K=3, the friends-of-friends regime), which is what
+makes it diameter-insensitive and thus cheap even on the road network.
+
+Both use one fixed source per dataset, matching the paper's protocol
+of a single random-but-fixed start vertex (§3.3). Unreachable vertices
+keep distance infinity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.structures import Graph
+from .base import SuperstepStats, Workload, WorkloadKind, WorkloadState
+
+__all__ = ["SSSP", "KHop"]
+
+
+class SSSP(Workload):
+    """Breadth-first single-source shortest paths over out-edges."""
+
+    name = "sssp"
+    kind = WorkloadKind.TRAVERSAL
+    needs_reverse_edges = False
+    combinable = True
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = source
+
+    def init_state(self, graph: Graph) -> WorkloadState:
+        """Distance 0 at the source, infinity elsewhere."""
+        if not 0 <= self.source < max(1, graph.num_vertices):
+            raise ValueError(
+                f"source {self.source} out of range for {graph.num_vertices} vertices"
+            )
+        values = np.full(graph.num_vertices, np.inf, dtype=np.float64)
+        active = np.zeros(graph.num_vertices, dtype=bool)
+        if graph.num_vertices:
+            values[self.source] = 0.0
+            active[self.source] = True
+        return WorkloadState(values=values, active=active)
+
+    def superstep(self, graph: Graph, state: WorkloadState) -> SuperstepStats:
+        """Frontier vertices relax their out-edges."""
+        dist = state.values
+        src = graph.edge_sources()
+        dst = graph.edge_targets()
+        sel = state.active[src]
+
+        new_dist = dist.copy()
+        np.minimum.at(new_dist, dst[sel], dist[src[sel]] + 1.0)
+        messages = int(np.count_nonzero(sel))
+
+        improved = new_dist < dist
+        updates = int(np.count_nonzero(improved))
+        active_before = int(np.count_nonzero(state.active))
+        state.values = new_dist
+        state.active = improved
+        state.iteration += 1
+        state.done = updates == 0
+
+        stats = SuperstepStats(
+            iteration=state.iteration,
+            active_vertices=active_before,
+            messages=messages,
+            updates=updates,
+            converged=state.done,
+        )
+        state.history.append(stats)
+        return stats
+
+
+class KHop(SSSP):
+    """SSSP truncated at K hops (K=3 in all the paper's experiments)."""
+
+    name = "khop"
+
+    def __init__(self, source: int = 0, k: int = 3) -> None:
+        super().__init__(source=source)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+
+    def init_state(self, graph: Graph) -> WorkloadState:
+        """K=0 answers immediately: only the source is reachable."""
+        state = super().init_state(graph)
+        if self.k == 0:
+            state.done = True
+        return state
+
+    def superstep(self, graph: Graph, state: WorkloadState) -> SuperstepStats:
+        """A BFS step, stopping after K iterations regardless of frontier."""
+        stats = super().superstep(graph, state)
+        if state.iteration >= self.k:
+            state.done = True
+            stats = SuperstepStats(
+                iteration=stats.iteration,
+                active_vertices=stats.active_vertices,
+                messages=stats.messages,
+                updates=stats.updates,
+                converged=True,
+            )
+            state.history[-1] = stats
+        return stats
+
+    def reachable_count(self, state: WorkloadState) -> int:
+        """Vertices within K hops of the source (the query's answer size)."""
+        return int(np.count_nonzero(np.isfinite(state.values)))
+
+    def result_bytes_from_state(self, graph: Graph, state: WorkloadState) -> int:
+        """K-hop answers are small: only reached vertices are written."""
+        return self.result_bytes_per_vertex() * max(1, self.reachable_count(state))

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "BV", "pagerank", "twitter", "-m", "32"]
+        )
+        assert args.system == "BV"
+        assert args.machines == 32
+
+    def test_invalid_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NEO4J", "pagerank", "twitter"])
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "BV", "bfs", "twitter"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "twitter" in out and "clueweb" in out
+        assert "stands in for" in out
+
+    def test_run_success(self, capsys):
+        assert main(["run", "BV", "khop", "twitter", "-m", "16",
+                     "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "total s" in out
+
+    def test_run_failure_exit_code(self, capsys):
+        # GraphLab random cannot load WRN at 16 (§5.2): exit code 1
+        assert main(["run", "GL-S-R-I", "pagerank", "wrn", "-m", "16"]) == 1
+        out = capsys.readouterr().out
+        assert "OOM" in out
+
+    def test_grid_and_log(self, capsys, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        assert main([
+            "grid", "khop", "--datasets", "twitter", "--machines", "16",
+            "--size", "tiny", "--log", str(log),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "khop results" in out
+        assert log.exists()
+        assert len(log.read_text().splitlines()) == 9   # GRID_SYSTEMS
+
+    def test_report_from_log(self, capsys, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        main(["grid", "khop", "--datasets", "twitter", "--machines", "16",
+              "--size", "tiny", "--log", str(log)])
+        capsys.readouterr()
+        assert main(["report", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "# Experiment report" in out
+        assert "Best system per column" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        main(["grid", "khop", "--datasets", "twitter", "--machines", "16",
+              "--size", "tiny", "--log", str(log)])
+        output = tmp_path / "report.md"
+        assert main(["report", str(log), "-o", str(output)]) == 0
+        assert output.exists()
+        assert "### khop" in output.read_text()
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--datasets", "twitter",
+                     "--workloads", "khop"]) == 0
+        out = capsys.readouterr().out
+        assert "COST" in out
+
+    def test_run_extension_workload(self, capsys):
+        assert main(["run", "BV", "cdlp", "twitter", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "cdlp" in out
+
+    def test_weak(self, capsys):
+        assert main(["weak", "BV", "khop", "twitter",
+                     "--machines", "16", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Weak scaling" in out
+        assert "efficiency" in out

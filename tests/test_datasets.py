@@ -1,0 +1,179 @@
+"""Tests for the dataset generators and registry.
+
+These pin the *performance-determining characteristics* of Table 3:
+power-law max degrees and tiny diameters for the social/web graphs,
+bounded degree and a huge relative diameter for the road network, and
+one giant weakly connected component everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    PAPER_PROFILES,
+    SIZE_NAMES,
+    dataset_names,
+    load_dataset,
+    powerlaw_social_graph,
+    road_network_graph,
+    web_host_graph,
+)
+from repro.graph import estimate_diameter, largest_wcc_fraction
+
+
+class TestGenerators:
+    def test_social_is_deterministic(self):
+        a = powerlaw_social_graph(200, seed=3)
+        b = powerlaw_social_graph(200, seed=3)
+        assert a == b
+
+    def test_social_seed_changes_graph(self):
+        assert powerlaw_social_graph(200, seed=3) != powerlaw_social_graph(200, seed=4)
+
+    def test_social_hub_degree(self):
+        g = powerlaw_social_graph(500, max_degree_fraction=0.1, seed=1)
+        assert g.in_degrees().max() >= 0.08 * g.num_vertices
+
+    def test_social_has_self_edges(self):
+        g = powerlaw_social_graph(400, seed=1)
+        assert g.count_self_edges() > 0   # the GraphLab quirk needs these
+
+    def test_social_connected(self):
+        g = powerlaw_social_graph(300, seed=5)
+        assert largest_wcc_fraction(g) == 1.0
+
+    def test_social_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_social_graph(1)
+
+    def test_road_degree_bounded(self):
+        g = road_network_graph(50, 10, seed=2)
+        total_degree = g.out_degrees() + g.in_degrees()
+        assert total_degree.max() <= 18   # <= 9 per direction
+
+    def test_road_large_diameter(self):
+        g = road_network_graph(80, 8, seed=2)
+        assert estimate_diameter(g) >= 60
+
+    def test_road_connected(self):
+        g = road_network_graph(40, 8, seed=2)
+        assert largest_wcc_fraction(g) == 1.0
+
+    def test_road_no_self_edges(self):
+        g = road_network_graph(30, 6, seed=2)
+        assert g.count_self_edges() == 0
+
+    def test_road_symmetric_edges(self):
+        g = road_network_graph(10, 4, seed=2)
+        edges = set(g.edges())
+        assert all((d, s) in edges for s, d in edges)
+
+    def test_road_bad_dims_rejected(self):
+        with pytest.raises(ValueError):
+            road_network_graph(1, 1)
+
+    def test_web_locality(self):
+        g = web_host_graph(20, 40, seed=3)
+        pages = 40
+        src = g.edge_sources() // pages
+        dst = g.edge_targets() // pages
+        intra = (src == dst).mean()
+        assert intra > 0.5   # most links stay within a host
+
+    def test_web_connected(self):
+        g = web_host_graph(10, 20, seed=3)
+        assert largest_wcc_fraction(g) == 1.0
+
+    def test_web_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            web_host_graph(0, 5)
+
+
+class TestRegistry:
+    def test_dataset_names(self):
+        assert DATASET_NAMES == ("twitter", "wrn", "uk0705", "clueweb")
+
+    def test_exclude_clueweb(self):
+        assert "clueweb" not in dataset_names(include_clueweb=False)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("facebook")
+
+    def test_unknown_size(self):
+        with pytest.raises(KeyError):
+            load_dataset("twitter", "huge")
+
+    def test_memoized(self):
+        assert load_dataset("twitter", "tiny") is load_dataset("twitter", "tiny")
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_profiles_match_paper_table3(self, name):
+        profile = PAPER_PROFILES[name]
+        assert profile.num_edges == pytest.approx(
+            profile.num_vertices * profile.avg_degree, rel=0.05
+        )
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    @pytest.mark.parametrize("size", SIZE_NAMES)
+    def test_every_dataset_builds(self, name, size):
+        d = load_dataset(name, size)
+        assert d.graph.num_vertices > 0
+        assert d.graph.num_edges > 0
+
+    def test_scale_factors(self):
+        d = load_dataset("twitter", "tiny")
+        assert d.vertex_scale == pytest.approx(
+            d.profile.num_vertices / d.graph.num_vertices
+        )
+        assert d.scaled_edges(1.0) == pytest.approx(d.edge_scale)
+        assert d.scaled_vertices(2.0) == pytest.approx(2 * d.vertex_scale)
+
+    def test_sssp_source_in_range(self):
+        for name in DATASET_NAMES:
+            d = load_dataset(name, "tiny")
+            assert 0 <= d.sssp_source < d.graph.num_vertices
+
+    def test_sizes_are_ordered(self):
+        for name in DATASET_NAMES:
+            tiny = load_dataset(name, "tiny").graph.num_edges
+            small = load_dataset(name, "small").graph.num_edges
+            assert tiny < small
+
+
+class TestDatasetShapes:
+    """The Table-3 shape properties the engines' behaviour depends on."""
+
+    def test_wrn_diameter_dominates(self, small_wrn, small_twitter):
+        d_wrn = estimate_diameter(small_wrn.graph)
+        d_tw = estimate_diameter(small_twitter.graph)
+        assert d_wrn > 20 * d_tw
+
+    def test_wrn_max_degree_at_most_9(self, small_wrn):
+        assert small_wrn.graph.out_degrees().max() <= 9
+
+    def test_social_max_degree_dominates_average(self, small_twitter):
+        g = small_twitter.graph
+        in_deg = g.in_degrees()
+        assert in_deg.max() > 20 * in_deg.mean()
+
+    def test_all_have_giant_component(self):
+        for name in DATASET_NAMES:
+            d = load_dataset(name, "tiny")
+            assert largest_wcc_fraction(d.graph) > 0.99
+
+    def test_web_graphs_have_self_edges(self, small_uk, small_clueweb):
+        assert small_uk.graph.count_self_edges() > 0
+        assert small_clueweb.graph.count_self_edges() > 0
+
+    def test_clueweb_is_biggest(self):
+        sizes = {n: load_dataset(n, "small").graph.num_edges for n in DATASET_NAMES}
+        assert sizes["clueweb"] == max(sizes.values())
+
+    def test_relative_order_matches_paper(self):
+        # |E|: twitter < uk < clueweb at paper scale; wrn smallest avg degree
+        profiles = PAPER_PROFILES
+        assert profiles["twitter"].num_edges < profiles["uk0705"].num_edges
+        assert profiles["uk0705"].num_edges < profiles["clueweb"].num_edges
+        assert profiles["wrn"].avg_degree < 2.0

@@ -1,0 +1,406 @@
+"""Per-engine behaviour tests: quirks, failure cells, cost structure.
+
+Each test pins a specific, paper-documented behaviour of one system
+model — the mechanisms behind the result grids, not the grid values
+themselves (those live in test_findings_paper.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, FailureKind
+from repro.datasets import load_dataset
+from repro.engines import (
+    ENGINE_KEYS,
+    GRID_SYSTEMS,
+    PAGERANK_SYSTEMS,
+    GraphXEngine,
+    make_engine,
+    systems_for_workload,
+    workload_for,
+)
+from repro.engines.base import iteration_scale, make_workload
+from repro.engines.spark import default_partitions, partition_placement, tuned_partitions
+
+
+def run(key, workload_name, dataset, machines=16, **spec_kw):
+    engine = make_engine(key)
+    workload = workload_for(engine, workload_name, dataset)
+    return engine.run(dataset, workload, ClusterSpec(machines, **spec_kw))
+
+
+class TestRegistry:
+    def test_all_keys_buildable(self):
+        for key in ENGINE_KEYS:
+            engine = make_engine(key)
+            assert engine.key == key
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            make_engine("NEO4J")
+
+    def test_lineups(self):
+        assert systems_for_workload("pagerank") == PAGERANK_SYSTEMS
+        assert systems_for_workload("wcc") == GRID_SYSTEMS
+        assert "GL-A-R-T" in PAGERANK_SYSTEMS
+        assert "GL-A-R-T" not in GRID_SYSTEMS
+
+    def test_features_table_rows(self):
+        for key in ("BV", "G", "HD", "S", "V", "FG"):
+            features = make_engine(key).features
+            assert "partitioning" in features and "synchronization" in features
+
+    def test_mpi_engines_use_all_machines(self):
+        spec = ClusterSpec(16)
+        assert make_engine("BV").workers_for(spec) == 16
+        assert make_engine("GL-S-R-I").workers_for(spec) == 16
+        assert make_engine("G").workers_for(spec) == 15
+        assert make_engine("HD").workers_for(spec) == 15
+
+
+class TestIterationScale:
+    def test_analytic_unscaled(self, small_twitter):
+        wl = make_workload("pagerank", small_twitter)
+        assert iteration_scale(small_twitter, wl) == 1.0
+
+    def test_khop_unscaled(self, small_wrn):
+        wl = make_workload("khop", small_wrn)
+        assert iteration_scale(small_wrn, wl) == 1.0
+
+    def test_traversals_scaled_by_diameter_ratio(self, small_wrn):
+        wl = make_workload("wcc", small_wrn)
+        scale = iteration_scale(small_wrn, wl)
+        assert scale > 100   # 48 000 / ~240
+
+    def test_small_diameter_scales_mildly(self, small_twitter):
+        wl = make_workload("sssp", small_twitter)
+        assert 1.0 <= iteration_scale(small_twitter, wl) < 5.0
+
+
+class TestGiraph:
+    def test_memory_grows_with_cluster_size(self, small_twitter):
+        """Table 8's signature: total memory grows with machines."""
+        totals = [
+            run("G", "pagerank", small_twitter, m).total_memory_bytes
+            for m in (16, 32, 64, 128)
+        ]
+        assert totals == sorted(totals)
+        assert totals[-1] > 3 * totals[0]
+
+    def test_wcc_doubles_edge_memory(self, small_twitter):
+        pr = run("G", "pagerank", small_twitter, 64)
+        wcc = run("G", "wcc", small_twitter, 64)
+        assert wcc.total_memory_bytes > 1.3 * pr.total_memory_bytes
+
+    def test_overhead_grows_with_cluster(self, small_twitter):
+        small = run("G", "khop", small_twitter, 16).overhead_time
+        large = run("G", "khop", small_twitter, 128).overhead_time
+        assert large > 2 * small
+
+    def test_fixed_iteration_pagerank(self, small_twitter):
+        result = run("G", "pagerank", small_twitter)
+        assert result.iterations == 30
+
+    def test_uk_wcc_oom_on_small_clusters(self, small_uk):
+        """§5.8: Giraph failed to load UK0705 at 16 and 32 for WCC."""
+        assert run("G", "wcc", small_uk, 16).failure is FailureKind.OOM
+        assert run("G", "wcc", small_uk, 32).failure is FailureKind.OOM
+        assert run("G", "wcc", small_uk, 64).ok
+
+    def test_wrn_wcc_narrative(self, small_wrn):
+        """§5.8: OOM at 16, unfinished at 32, 'almost 24 hours' at 64."""
+        assert run("G", "wcc", small_wrn, 16).failure is FailureKind.OOM
+        assert run("G", "wcc", small_wrn, 32).failure is FailureKind.TIMEOUT
+        at64 = run("G", "wcc", small_wrn, 64)
+        assert at64.ok
+        assert at64.total_time > 0.8 * 86400   # almost 24 hours
+
+    def test_wrn_sssp_per_iteration_matches_table6(self, small_wrn):
+        """Table 6: ~6 s/iteration at 16 machines, ~3 s at 32."""
+        r16 = run("G", "sssp", small_wrn, 16, timeout_seconds=1e15)
+        r32 = run("G", "sssp", small_wrn, 32, timeout_seconds=1e15)
+        assert 4.0 < r16.per_iteration_time < 9.0
+        assert 2.0 < r32.per_iteration_time < 4.5
+        # and hence SSSP cannot finish inside 24 hours (Table 6's point)
+        assert run("G", "sssp", small_wrn, 16).failure is FailureKind.TIMEOUT
+
+
+class TestGraphLab:
+    def test_replication_factor_recorded(self, small_twitter):
+        result = run("GL-S-R-I", "pagerank", small_twitter)
+        assert result.extras["replication_factor"] > 1.0
+
+    def test_auto_lowers_replication(self, small_uk):
+        rand = run("GL-S-R-I", "pagerank", small_uk, 64)
+        auto = run("GL-S-A-I", "pagerank", small_uk, 64)
+        assert auto.extras["replication_factor"] < rand.extras["replication_factor"]
+
+    def test_oblivious_load_slower_than_grid(self, small_twitter):
+        """§5.4: Auto load time zig-zags — Grid at 16/64, Oblivious at 32/128."""
+        load16 = run("GL-S-A-I", "pagerank", small_twitter, 16).load_time
+        load32 = run("GL-S-A-I", "pagerank", small_twitter, 32).load_time
+        assert load32 > load16
+
+    def test_wrn_fails_at_16_any_partitioning(self, small_wrn):
+        """§5.2: GraphLab cannot load WRN on 16 machines at all."""
+        assert run("GL-S-R-I", "pagerank", small_wrn, 16).failure is FailureKind.OOM
+        assert run("GL-S-A-I", "pagerank", small_wrn, 16).failure is FailureKind.OOM
+
+    def test_wrn_loads_at_32(self, small_wrn):
+        assert run("GL-S-R-I", "pagerank", small_wrn, 32).ok
+
+    def test_uk_random_oom_at_16(self, small_uk):
+        """§5.2: random partitioning OOMs UK0705 at 16; auto survives."""
+        assert run("GL-S-R-T", "pagerank", small_uk, 16).failure is FailureKind.OOM
+        assert run("GL-S-A-T", "pagerank", small_uk, 16).ok
+
+    def test_async_slower_than_sync(self, small_twitter):
+        sync = run("GL-S-R-T", "pagerank", small_twitter)
+        async_ = run("GL-A-R-T", "pagerank", small_twitter)
+        assert async_.execute_time > sync.execute_time
+
+    def test_async_wrn_oom_at_128_only(self, small_wrn):
+        """Figure 10: async PageRank OOMs WRN at 128, not at 32/64."""
+        assert run("GL-A-R-T", "pagerank", small_wrn, 32).ok
+        assert run("GL-A-R-T", "pagerank", small_wrn, 64).ok
+        assert run("GL-A-R-T", "pagerank", small_wrn, 128).failure is FailureKind.OOM
+
+    def test_sync_wrn_fine_at_128(self, small_wrn):
+        assert run("GL-S-R-T", "pagerank", small_wrn, 128).ok
+
+    def test_tolerance_mode_is_approximate(self, small_twitter):
+        """§5.2: tolerance-mode GraphLab deactivates converged vertices."""
+        engine = make_engine("GL-S-R-T")
+        workload = workload_for(engine, "pagerank", small_twitter)
+        assert workload.approximate
+        engine = make_engine("GL-S-R-I")
+        workload = workload_for(engine, "pagerank", small_twitter)
+        assert not workload.approximate
+
+    def test_bad_configs_rejected(self):
+        from repro.engines.graphlab import GraphLabEngine
+
+        with pytest.raises(ValueError):
+            GraphLabEngine(mode="turbo")
+        with pytest.raises(ValueError):
+            GraphLabEngine(partitioning="metis")
+        with pytest.raises(ValueError):
+            GraphLabEngine(stop="sometimes")
+        with pytest.raises(ValueError):
+            GraphLabEngine(compute_cores=5)
+
+
+class TestBlogel:
+    def test_bv_low_memory(self, small_twitter):
+        bv = run("BV", "pagerank", small_twitter)
+        giraph = run("G", "pagerank", small_twitter)
+        assert bv.total_memory_bytes < 0.5 * giraph.total_memory_bytes
+
+    def test_bb_mpi_overflow_on_wrn_and_clueweb(self, small_wrn, small_clueweb):
+        """§5.1: Voronoi aggregation overflows MPI int32 on WRN/ClueWeb."""
+        assert run("BB", "wcc", small_wrn, 16).failure is FailureKind.MPI
+        assert run("BB", "wcc", small_clueweb, 128).failure is FailureKind.MPI
+
+    def test_bb_fine_on_twitter_and_uk(self, small_twitter, small_uk):
+        assert run("BB", "wcc", small_twitter, 16).ok
+        assert run("BB", "wcc", small_uk, 16).ok
+
+    def test_bb_execution_beats_bv_on_reachability(self, small_uk):
+        """§5.1: block-centric wins *execution* on WCC/SSSP..."""
+        bb = run("BB", "wcc", small_uk, 16)
+        bv = run("BV", "wcc", small_uk, 16)
+        assert bb.execute_time < bv.execute_time
+
+    def test_bv_beats_bb_end_to_end(self, small_uk):
+        """...but BV wins end-to-end: the GVD phase + HDFS round-trip."""
+        bb = run("BB", "wcc", small_uk, 16)
+        bv = run("BV", "wcc", small_uk, 16)
+        assert bv.total_time < bb.total_time
+
+    def test_modified_bb_skips_hdfs_roundtrip(self, small_uk):
+        """Figure 3: removing the HDFS round-trip cuts the load time."""
+        stock = run("BB", "wcc", small_uk, 16)
+        modified = run("BB*", "wcc", small_uk, 16)
+        assert modified.load_time < 0.7 * stock.load_time
+        assert modified.total_time < stock.total_time
+
+    def test_bb_pagerank_two_step_slower_than_bv(self, small_twitter):
+        """§3.1.2/§5.1: the block-PageRank initialization does not pay off."""
+        bb = run("BB", "pagerank", small_twitter, 16)
+        bv = run("BV", "pagerank", small_twitter, 16)
+        assert bb.execute_time > bv.execute_time
+
+    def test_bb_records_blocks(self, small_twitter):
+        result = run("BB", "khop", small_twitter, 16)
+        assert result.extras["num_blocks"] > 16
+
+
+class TestHadoopFamily:
+    def test_hadoop_never_ooms(self, small_uk):
+        for m in (16, 128):
+            result = run("HD", "wcc", small_uk, m)
+            assert result.failure is not FailureKind.OOM
+
+    def test_hadoop_slowest_per_iteration(self, small_twitter):
+        hd = run("HD", "pagerank", small_twitter)
+        bv = run("BV", "pagerank", small_twitter)
+        assert hd.per_iteration_time > 10 * bv.per_iteration_time
+
+    def test_hadoop_iowait_dominates(self, small_twitter):
+        """§5.10: Hadoop CPUs wait on I/O (vs GraphLab's compute profile)."""
+        hd = run("HD", "pagerank", small_twitter)
+        gl = run("GL-S-R-I", "pagerank", small_twitter)
+        hd_ratio = hd.extras["cpu_iowait_seconds"] / hd.extras["cpu_user_seconds"]
+        gl_ratio = gl.extras["cpu_iowait_seconds"] / max(
+            gl.extras["cpu_user_seconds"], 1e-9
+        )
+        assert hd_ratio > 0.3
+        assert hd_ratio > 5 * gl_ratio
+
+    def test_haloop_faster_than_hadoop_but_below_2x(self, small_twitter):
+        """§5.10: HaLoop speedup exists but is less than the claimed 2x."""
+        hd = run("HD", "pagerank", small_twitter)
+        hl = run("HL", "pagerank", small_twitter)
+        assert hl.total_time < hd.total_time
+        assert hd.total_time < 2.0 * hl.total_time
+
+    def test_haloop_shuffle_bug_on_large_clusters(self, small_twitter):
+        """§5.10: SHFL after a few iterations on 64/128 machines."""
+        assert run("HL", "pagerank", small_twitter, 64).failure is FailureKind.SHUFFLE
+        assert run("HL", "pagerank", small_twitter, 128).failure is FailureKind.SHUFFLE
+        assert run("HL", "pagerank", small_twitter, 32).ok
+
+    def test_haloop_khop_survives_bug(self, small_twitter):
+        """K-hop's 3 iterations stay under the bug's trigger."""
+        assert run("HL", "khop", small_twitter, 128).ok
+
+    def test_wrn_traversals_timeout(self, small_wrn):
+        assert run("HD", "sssp", small_wrn, 16).failure is FailureKind.TIMEOUT
+        assert run("HD", "wcc", small_wrn, 64).failure is FailureKind.TIMEOUT
+
+
+class TestGraphX:
+    def test_partition_policies(self, small_twitter):
+        cores = 60
+        assert default_partitions(small_twitter) >= 1
+        tuned = tuned_partitions(small_twitter, cores)
+        assert tuned <= 2 * cores
+
+    def test_fixed_policy_requires_count(self):
+        with pytest.raises(ValueError):
+            GraphXEngine(partition_policy="fixed")
+        with pytest.raises(ValueError):
+            GraphXEngine(partition_policy="whatever")
+
+    def test_placement_skewed(self, small_uk):
+        """Figure 11: partitions land unevenly on machines."""
+        counts = partition_placement("uk0705", 1200, 127)
+        assert counts.sum() == 1200
+        assert counts.max() > 2.5 * counts.mean()
+
+    def test_placement_deterministic(self):
+        a = partition_placement("twitter", 440, 63)
+        b = partition_placement("twitter", 440, 63)
+        assert np.array_equal(a, b)
+
+    def test_partition_count_changes_time(self, small_twitter):
+        """Figure 2: partition count materially changes PageRank time."""
+        times = {}
+        for count in (30, 120, 1200):
+            engine = GraphXEngine(num_partitions=count, partition_policy="fixed")
+            workload = workload_for(engine, "pagerank", small_twitter)
+            times[count] = engine.run(
+                small_twitter, workload, ClusterSpec(32)
+            ).total_time
+        assert max(times.values()) > 1.4 * min(times.values())
+
+    def test_lineage_kills_wrn_wcc_everywhere(self, small_wrn):
+        """§5.6: WCC on WRN fails on all cluster sizes (memory or timeout)."""
+        for m in (16, 32, 64, 128):
+            failure = run("S", "wcc", small_wrn, m).failure
+            assert failure in (FailureKind.OOM, FailureKind.TIMEOUT)
+
+    def test_wrn_khop_survives(self, small_wrn):
+        """3 iterations keep lineage short."""
+        assert run("S", "khop", small_wrn, 32).ok
+
+    def test_graphx_slowest_system_on_twitter(self, small_twitter):
+        """§5.6: GraphX is slower than all other systems."""
+        s = run("S", "pagerank", small_twitter)
+        others = [run(k, "pagerank", small_twitter)
+                  for k in ("BV", "G", "GL-S-R-I", "HD", "FG")]
+        assert all(s.total_time > o.total_time for o in others if o.ok)
+
+    def test_overhead_significant(self, small_twitter):
+        """§5.7: Spark app start/stop overhead."""
+        assert run("S", "khop", small_twitter).overhead_time > 15
+
+
+class TestVertica:
+    def test_small_memory_footprint(self, small_uk):
+        """Figure 13b: tiny memory compared to in-memory systems."""
+        v = run("V", "pagerank", small_uk, 64)
+        gl = run("GL-S-R-I", "pagerank", small_uk, 64)
+        assert v.peak_memory_bytes < 0.2 * gl.peak_memory_bytes
+
+    def test_slower_than_graph_systems(self, small_uk):
+        """§5.11: not competitive with native graph systems."""
+        v = run("V", "pagerank", small_uk, 32)
+        bv = run("BV", "pagerank", small_uk, 32)
+        gl = run("GL-S-R-I", "pagerank", small_uk, 32)
+        assert v.total_time > bv.total_time
+        assert v.total_time > gl.total_time
+
+    def test_gap_grows_with_cluster(self, small_uk):
+        """§5.11: the gap to graph systems widens as the cluster grows."""
+        gap32 = (run("V", "pagerank", small_uk, 32).execute_time
+                 / run("BV", "pagerank", small_uk, 32).execute_time)
+        gap128 = (run("V", "pagerank", small_uk, 128).execute_time
+                  / run("BV", "pagerank", small_uk, 128).execute_time)
+        assert gap128 > gap32
+
+    def test_network_heavy(self, small_uk):
+        """Figure 13c: Vertica moves more bytes than GraphLab."""
+        v = run("V", "pagerank", small_uk, 64)
+        gl = run("GL-S-R-I", "pagerank", small_uk, 64)
+        assert v.network_bytes > gl.network_bytes
+
+
+class TestGelly:
+    def test_low_overhead_but_restart(self, small_twitter):
+        """§5.7: small job overhead; restart charged between workloads."""
+        result = run("FG", "khop", small_twitter)
+        assert 30 < result.overhead_time < 60
+
+    def test_uk_wcc_succeeds_everywhere(self, small_uk):
+        """§5.8: Gelly finished WCC for UK0705 in all clusters."""
+        for m in (16, 32, 64, 128):
+            assert run("FG", "wcc", small_uk, m).ok
+
+    def test_wrn_wcc_only_at_128(self, small_wrn):
+        """§5.8: TO at 16/32/64; slightly under 24 hours at 128."""
+        for m in (16, 32, 64):
+            assert run("FG", "wcc", small_wrn, m).failure is FailureKind.TIMEOUT
+        at128 = run("FG", "wcc", small_wrn, 128)
+        assert at128.ok
+        assert at128.total_time > 0.85 * 86400
+
+    def test_clueweb_fails(self, small_clueweb):
+        """§5.9: Gelly could not finish ClueWeb."""
+        assert run("FG", "pagerank", small_clueweb, 128).failure is FailureKind.OOM
+
+
+class TestSingleThread:
+    def test_ignores_cluster_size(self, small_twitter):
+        a = run("ST", "pagerank", small_twitter, 16)
+        b = run("ST", "pagerank", small_twitter, 128)
+        assert a.total_time == pytest.approx(b.total_time)
+
+    def test_wcc_on_wrn_uses_about_112gb_memory_shape(self, small_wrn):
+        """§5.13: the single-thread WRN run needs a big machine."""
+        result = run("ST", "wcc", small_wrn)
+        assert result.peak_memory_bytes > 30.5 * 1024**3   # exceeds r3.xlarge
+
+    def test_load_dominates_traversals(self, small_twitter):
+        result = run("ST", "sssp", small_twitter)
+        assert result.load_time > result.execute_time

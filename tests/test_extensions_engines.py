@@ -1,0 +1,108 @@
+"""Tests for the extension engines: Giraph++ and GraphX hash-to-min."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, FailureKind
+from repro.engines import GiraphPlusPlusEngine, make_engine, workload_for
+from repro.workloads import reference_sssp, reference_wcc
+from repro.workloads.wcc import HashToMinWCC
+
+
+def run(key, workload_name, dataset, machines=16):
+    engine = make_engine(key)
+    workload = workload_for(engine, workload_name, dataset)
+    return engine.run(dataset, workload, ClusterSpec(machines))
+
+
+class TestGiraphPlusPlus:
+    def test_registered(self):
+        engine = make_engine("G++")
+        assert isinstance(engine, GiraphPlusPlusEngine)
+        assert engine.key == "G++"
+        assert engine.language == "Java"
+
+    def test_answers_exact(self, tiny_twitter):
+        result = run("G++", "wcc", tiny_twitter)
+        assert result.ok
+        assert np.array_equal(
+            result.answer.astype(np.int64), reference_wcc(tiny_twitter.graph)
+        )
+
+    def test_sssp_exact(self, tiny_uk):
+        result = run("G++", "sssp", tiny_uk)
+        expected = reference_sssp(tiny_uk.graph, tiny_uk.sssp_source)
+        assert np.array_equal(
+            np.nan_to_num(result.answer, posinf=-1),
+            np.nan_to_num(expected, posinf=-1),
+        )
+
+    def test_block_centric_execution_beats_giraph(self, small_uk):
+        """The point of 'think like a graph': fewer global supersteps."""
+        gpp = run("G++", "sssp", small_uk, 64)
+        giraph = run("G", "sssp", small_uk, 64)
+        assert gpp.ok and giraph.ok
+        assert gpp.execute_time < giraph.execute_time
+
+    def test_pays_jvm_memory_like_giraph(self, small_twitter):
+        gpp = run("G++", "pagerank", small_twitter)
+        bb = run("BB", "pagerank", small_twitter)
+        assert gpp.total_memory_bytes > 2 * bb.total_memory_bytes
+
+    def test_pays_hadoop_overhead(self, small_twitter):
+        gpp = run("G++", "khop", small_twitter, 128)
+        bb = run("BB", "khop", small_twitter, 128)
+        assert gpp.overhead_time > 10 * max(bb.overhead_time, 0.1)
+
+    def test_no_mpi_overflow_on_wrn(self, small_wrn):
+        """Hadoop RPC aggregation: the §5.1 overflow cannot happen —
+        but Giraph-style JVM memory OOMs WRN at 16 instead."""
+        result = run("G++", "wcc", small_wrn, 16)
+        assert result.failure is not FailureKind.MPI
+
+    def test_slower_than_blogel_b(self, small_uk):
+        """Same execution model, JVM prices: BB stays ahead end-to-end."""
+        gpp = run("G++", "wcc", small_uk, 64)
+        bb = run("BB", "wcc", small_uk, 64)
+        assert gpp.execute_time > bb.execute_time
+
+
+class TestGraphXHashToMin:
+    def test_registered(self):
+        engine = make_engine("S-h2m")
+        assert engine.key == "S-h2m"
+        assert engine.wcc_variant == "hash-to-min"
+
+    def test_workload_factory_respects_variant(self, small_uk):
+        engine = make_engine("S-h2m")
+        workload = workload_for(engine, "wcc", small_uk)
+        assert isinstance(workload, HashToMinWCC)
+
+    def test_answers_exact(self, tiny_twitter):
+        result = run("S-h2m", "wcc", tiny_twitter)
+        assert result.ok
+        assert np.array_equal(
+            result.answer.astype(np.int64), reference_wcc(tiny_twitter.graph)
+        )
+
+    def test_halves_iterations(self, small_uk):
+        plain = run("S", "wcc", small_uk, 64)
+        h2m = run("S-h2m", "wcc", small_uk, 64)
+        assert h2m.iterations < plain.iterations
+
+    def test_faster_wcc_on_web(self, small_uk):
+        """§5.6: GraphFrames' hash-to-min cuts GraphX's WCC time."""
+        plain = run("S", "wcc", small_uk, 64)
+        h2m = run("S-h2m", "wcc", small_uk, 64)
+        assert h2m.total_time < 0.8 * plain.total_time
+
+    def test_other_workloads_unaffected(self, tiny_twitter):
+        plain = run("S", "khop", tiny_twitter)
+        h2m = run("S-h2m", "khop", tiny_twitter)
+        assert plain.total_time == pytest.approx(h2m.total_time)
+
+    def test_bad_variant_rejected(self):
+        from repro.engines.spark import GraphXEngine
+
+        with pytest.raises(ValueError):
+            GraphXEngine(wcc_variant="union-find")

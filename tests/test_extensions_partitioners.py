@@ -1,0 +1,133 @@
+"""Tests for the dataset-specific block partitioners (§2.3's techniques)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, FailureKind
+from repro.engines import make_engine, workload_for
+from repro.graph import from_edges
+from repro.partitioning import (
+    coordinate_partition,
+    url_prefix_partition,
+    voronoi_partition,
+)
+from repro.workloads import reference_sssp, reference_wcc
+
+
+class TestCoordinatePartition:
+    def test_blocks_cover_all_vertices(self, small_wrn):
+        bp = coordinate_partition(
+            small_wrn.graph, 16, grid_shape=small_wrn.meta()["grid_shape"]
+        )
+        assert (bp.block_of >= 0).all()
+        assert bp.block_sizes().sum() == small_wrn.graph.num_vertices
+
+    def test_spatial_blocks_are_balanced(self, small_wrn):
+        bp = coordinate_partition(
+            small_wrn.graph, 16, grid_shape=small_wrn.meta()["grid_shape"]
+        )
+        assert bp.balance_skew() < 0.2
+
+    def test_no_master_aggregation(self, small_wrn):
+        """Property-based assignment sidesteps the §5.1 MPI overflow."""
+        bp = coordinate_partition(
+            small_wrn.graph, 16, grid_shape=small_wrn.meta()["grid_shape"]
+        )
+        assert bp.aggregate_items_per_round == 0
+        assert bp.rounds == 0
+
+    def test_explicit_coordinates(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        coords = np.array([[0.0, 0.0], [0.1, 0.1], [5.0, 5.0], [5.1, 5.1]])
+        bp = coordinate_partition(g, 2, coordinates=coords, blocks_per_machine=1)
+        # the two spatial clusters land in different blocks
+        assert bp.block_of[0] == bp.block_of[1]
+        assert bp.block_of[2] == bp.block_of[3]
+        assert bp.block_of[0] != bp.block_of[2]
+
+    def test_requires_shape_or_coords(self, small_twitter):
+        with pytest.raises(ValueError):
+            coordinate_partition(small_twitter.graph, 4)
+
+    def test_shape_mismatch_rejected(self, small_wrn):
+        with pytest.raises(ValueError):
+            coordinate_partition(small_wrn.graph, 4, grid_shape=(3, 3))
+
+
+class TestUrlPrefixPartition:
+    def test_one_block_per_host(self, small_uk):
+        pages = small_uk.meta()["pages_per_host"]
+        bp = url_prefix_partition(small_uk.graph, 16, pages_per_host=pages)
+        assert bp.num_blocks == small_uk.graph.num_vertices // pages
+
+    def test_beats_voronoi_block_cut_on_web(self, small_uk):
+        pages = small_uk.meta()["pages_per_host"]
+        url = url_prefix_partition(small_uk.graph, 16, pages_per_host=pages)
+        gvd = voronoi_partition(small_uk.graph, 16)
+        assert url.block_cut_fraction() < gvd.block_cut_fraction()
+
+    def test_explicit_host_map(self):
+        g = from_edges([(0, 1), (2, 3)])
+        bp = url_prefix_partition(g, 2, host_of=np.array([0, 0, 7, 7]))
+        assert bp.block_of[0] == bp.block_of[1]
+        assert bp.block_of[2] == bp.block_of[3]
+
+    def test_requires_host_info(self, small_uk):
+        with pytest.raises(ValueError):
+            url_prefix_partition(small_uk.graph, 4)
+
+    def test_bad_host_shape_rejected(self, small_uk):
+        with pytest.raises(ValueError):
+            url_prefix_partition(small_uk.graph, 4, host_of=np.array([1, 2]))
+
+
+class TestBlogelWithDatasetPartitioners:
+    def run(self, key, workload_name, dataset, machines=16):
+        engine = make_engine(key)
+        workload = workload_for(engine, workload_name, dataset)
+        return engine.run(dataset, workload, ClusterSpec(machines))
+
+    def test_coordinate_avoids_mpi_on_wrn(self, small_wrn):
+        """The headline of the extension: BB becomes usable on WRN."""
+        assert self.run("BB", "sssp", small_wrn).failure is FailureKind.MPI
+        coord = self.run("BB-coord", "sssp", small_wrn)
+        assert coord.ok
+
+    def test_coordinate_bb_crushes_bv_on_wrn_traversals(self, small_wrn):
+        """Block-centric execution collapses the 48 000 supersteps."""
+        coord = self.run("BB-coord", "sssp", small_wrn)
+        bv = self.run("BV", "sssp", small_wrn)
+        assert coord.total_time < 0.25 * bv.total_time
+
+    def test_coordinate_bb_answers_exact(self, tiny_wrn):
+        result = self.run("BB-coord", "sssp", tiny_wrn)
+        expected = reference_sssp(tiny_wrn.graph, tiny_wrn.sssp_source)
+        assert np.array_equal(
+            np.nan_to_num(result.answer, posinf=-1),
+            np.nan_to_num(expected, posinf=-1),
+        )
+
+    def test_url_prefix_bb_answers_exact(self, tiny_uk):
+        result = self.run("BB-url", "wcc", tiny_uk)
+        assert np.array_equal(
+            result.answer.astype(np.int64), reference_wcc(tiny_uk.graph)
+        )
+
+    def test_url_prefix_speeds_up_web_wcc(self, small_uk):
+        # at 64 machines the lower block-cut wins; at 16 the host-level
+        # block graph's larger diameter can offset it
+        stock = self.run("BB", "wcc", small_uk, machines=64)
+        url = self.run("BB-url", "wcc", small_uk, machines=64)
+        assert url.execute_time < stock.execute_time
+
+    def test_coordinate_needs_coordinates(self, small_twitter):
+        # social graphs carry no coordinates: a configuration error, not
+        # a simulated failure cell
+        with pytest.raises(ValueError):
+            self.run("BB-coord", "khop", small_twitter)
+
+    def test_bad_partitioner_name(self):
+        from repro.engines.blogel import BlogelBEngine
+
+        with pytest.raises(ValueError):
+            BlogelBEngine(partitioner="metis")

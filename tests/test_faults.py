@@ -1,0 +1,127 @@
+"""Tests for failure injection (Table 1's fault-tolerance column)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, FaultPlan
+from repro.datasets import load_dataset
+from repro.engines import make_engine, workload_for
+
+
+def run(key, workload_name, dataset, machines=16, fault_plan=None):
+    engine = make_engine(key)
+    workload = workload_for(engine, workload_name, dataset)
+    spec = ClusterSpec(machines, fault_plan=fault_plan)
+    return engine.run(dataset, workload, spec)
+
+
+@pytest.fixture(scope="module")
+def twitter():
+    return load_dataset("twitter", "small")
+
+
+class TestFaultPlan:
+    def test_pop_due_consumes(self):
+        plan = FaultPlan(fail_times=(5.0, 10.0))
+        assert plan.pop_due(7.0) == [5.0]
+        assert plan.pending == (10.0,)
+        assert plan.pop_due(7.0) == []
+
+    def test_reset_rearms(self):
+        plan = FaultPlan(fail_times=(5.0,))
+        plan.pop_due(100.0)
+        plan.reset()
+        assert plan.pending == (5.0,)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(fail_times=(-1.0,))
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(checkpoint_interval=0)
+
+    def test_sorted_delivery(self):
+        plan = FaultPlan(fail_times=(9.0, 3.0, 6.0))
+        assert plan.pop_due(10.0) == [3.0, 6.0, 9.0]
+
+
+class TestRecoverySemantics:
+    def test_no_plan_means_no_cost(self, twitter):
+        clean = run("BV", "pagerank", twitter)
+        assert "checkpoints" not in clean.extras
+        assert "recoveries" not in clean.extras
+
+    def test_checkpointing_engine_recovers(self, twitter):
+        clean = run("BV", "pagerank", twitter)
+        plan = FaultPlan(fail_times=(clean.total_time * 0.5,))
+        faulty = run("BV", "pagerank", twitter, fault_plan=plan)
+        assert faulty.ok
+        assert faulty.extras["recoveries"] == 1
+        assert faulty.extras["checkpoints"] >= 1
+        assert faulty.total_time > clean.total_time
+
+    def test_checkpoint_overhead_without_failures(self, twitter):
+        clean = run("G", "pagerank", twitter)
+        plan = FaultPlan(fail_times=(), checkpoint_interval=5)
+        with_ckpt = run("G", "pagerank", twitter, fault_plan=plan)
+        assert with_ckpt.ok
+        assert with_ckpt.extras["checkpoints"] == 30 // 5
+        assert with_ckpt.total_time > clean.total_time
+
+    def test_denser_checkpoints_cut_recovery_cost(self, twitter):
+        clean = run("BV", "pagerank", twitter)
+        fail_at = (clean.total_time * 0.8,)
+        sparse = run("BV", "pagerank", twitter,
+                     fault_plan=FaultPlan(fail_times=fail_at,
+                                          checkpoint_interval=40))
+        dense = run("BV", "pagerank", twitter,
+                    fault_plan=FaultPlan(fail_times=fail_at,
+                                         checkpoint_interval=2))
+        # dense checkpointing loses less progress on failure
+        sparse_recovery = sparse.total_time - clean.total_time
+        dense_recovery = dense.total_time - clean.total_time
+        assert dense_recovery < sparse_recovery
+
+    def test_reexecution_cheapest(self, twitter):
+        """Hadoop re-runs one machine's tasks: tiny blast radius."""
+        clean = run("HD", "pagerank", twitter)
+        plan = FaultPlan(fail_times=(clean.total_time * 0.5,))
+        faulty = run("HD", "pagerank", twitter, fault_plan=plan)
+        assert faulty.ok
+        assert faulty.extras["recoveries"] == 1
+        assert "checkpoints" not in faulty.extras
+        overhead = faulty.total_time / clean.total_time
+        assert overhead < 1.1
+
+    def test_vertica_restarts_from_zero(self, twitter):
+        clean = run("V", "pagerank", twitter)
+        plan = FaultPlan(fail_times=(clean.total_time * 0.6,))
+        faulty = run("V", "pagerank", twitter, fault_plan=plan)
+        assert faulty.ok
+        # no fault tolerance: the aborted work is paid twice
+        assert faulty.total_time > 1.4 * clean.total_time
+
+    def test_relative_overheads_match_mechanisms(self, twitter):
+        """reexecution < checkpoint < none, for a mid-run failure."""
+        overheads = {}
+        for key in ("HD", "BV", "V"):
+            clean = run(key, "pagerank", twitter)
+            plan = FaultPlan(fail_times=(clean.total_time * 0.5,))
+            faulty = run(key, "pagerank", twitter, fault_plan=plan)
+            overheads[key] = faulty.total_time / clean.total_time
+        assert overheads["HD"] < overheads["BV"] < overheads["V"]
+
+    def test_failure_during_load_is_harmless(self, twitter):
+        """Events before the superstep loop fire at the first round."""
+        plan = FaultPlan(fail_times=(0.5,))
+        result = run("BV", "pagerank", twitter, fault_plan=plan)
+        assert result.ok
+        assert result.extras["recoveries"] == 1
+
+    def test_multiple_failures(self, twitter):
+        clean = run("BV", "pagerank", twitter)
+        times = tuple(clean.total_time * f for f in (0.3, 0.5, 0.7))
+        faulty = run("BV", "pagerank", twitter,
+                     fault_plan=FaultPlan(fail_times=times))
+        assert faulty.ok
+        assert faulty.extras["recoveries"] == 3

@@ -1,0 +1,214 @@
+"""The paper's major findings (§1), asserted end-to-end.
+
+Each test reproduces one bullet of the paper's findings list by running
+the relevant experiment cells and checking the *relationship* the paper
+reports — who wins, what fails, what grows.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec, FailureKind
+from repro.core import cost_experiment
+from repro.datasets import load_dataset
+from repro.engines import GRID_SYSTEMS, make_engine, workload_for
+
+
+def run(key, workload_name, dataset, machines=16):
+    engine = make_engine(key)
+    workload = workload_for(engine, workload_name, dataset)
+    return engine.run(dataset, workload, ClusterSpec(machines))
+
+
+@pytest.fixture(scope="module")
+def twitter():
+    return load_dataset("twitter", "small")
+
+
+@pytest.fixture(scope="module")
+def uk():
+    return load_dataset("uk0705", "small")
+
+
+@pytest.fixture(scope="module")
+def wrn():
+    return load_dataset("wrn", "small")
+
+
+@pytest.fixture(scope="module")
+def clueweb():
+    return load_dataset("clueweb", "small")
+
+
+class TestBlogelOverallWinner:
+    """Finding 1 (§5.1): Blogel wins; BB fastest execution, BV end-to-end."""
+
+    @pytest.mark.parametrize("workload", ["wcc", "sssp", "khop"])
+    def test_bv_best_end_to_end_on_twitter(self, twitter, workload):
+        results = {k: run(k, workload, twitter) for k in GRID_SYSTEMS}
+        ok = {k: r for k, r in results.items() if r.ok}
+        winner = min(ok, key=lambda k: ok[k].total_time)
+        assert winner in ("BV", "BB"), f"winner was {winner}"
+
+    def test_bb_shortest_execution_for_reachability(self, uk):
+        results = {k: run(k, "sssp", uk) for k in GRID_SYSTEMS}
+        ok = {k: r for k, r in results.items() if r.ok}
+        winner = min(ok, key=lambda k: ok[k].execute_time)
+        assert winner == "BB"
+
+    def test_bv_only_system_finishing_wrn_wcc_at_16(self, wrn):
+        outcomes = {k: run(k, "wcc", wrn, 16).ok for k in GRID_SYSTEMS}
+        assert outcomes["BV"]
+        assert not any(ok for k, ok in outcomes.items() if k != "BV")
+
+    def test_bv_only_system_finishing_clueweb(self, clueweb):
+        for workload in ("pagerank", "wcc", "sssp", "khop"):
+            outcomes = {
+                k: run(k, workload, clueweb, 128).ok
+                for k in ("BB", "BV", "G", "GL-S-R-I", "S", "FG")
+            }
+            assert outcomes["BV"], workload
+            assert not any(v for k, v in outcomes.items() if k != "BV"), workload
+
+
+class TestLargeDiameterFinding:
+    """Finding 2 (§5.3/5.6/5.8): systems are inefficient on large diameters."""
+
+    def test_most_systems_fail_wrn_traversals_at_16(self, wrn):
+        failures = sum(
+            0 if run(k, "sssp", wrn, 16).ok else 1 for k in GRID_SYSTEMS
+        )
+        assert failures >= 6
+
+    def test_wrn_khop_fine_everywhere_it_loads(self, wrn):
+        """K = 3 sidesteps the diameter: most systems complete it."""
+        successes = sum(1 for k in GRID_SYSTEMS if run(k, "khop", wrn, 32).ok)
+        assert successes >= 6
+
+
+class TestGraphLabClusterSensitivity:
+    """Finding 3 (§5.4): GraphLab is sensitive to the cluster size."""
+
+    def test_auto_load_time_zigzags(self, uk):
+        loads = {
+            m: run("GL-S-A-I", "pagerank", uk, m).load_time
+            for m in (16, 32, 64, 128)
+        }
+        # Grid at 16/64 loads fast; Oblivious at 32/128 loads slow —
+        # so bigger clusters can load *slower* (the paper's point).
+        assert loads[32] > loads[16]
+        assert loads[32] > loads[64]
+        assert loads[128] > loads[64]
+
+
+class TestGiraphVsGraphLab:
+    """Finding 4 (§5.5): similar under random partitioning; crossover."""
+
+    def test_giraph_wins_small_clusters(self, twitter):
+        assert (
+            run("G", "pagerank", twitter, 16).total_time
+            < run("GL-S-R-I", "pagerank", twitter, 16).total_time
+        )
+
+    def test_graphlab_wins_at_128(self, twitter):
+        assert (
+            run("GL-S-R-I", "pagerank", twitter, 128).total_time
+            < run("G", "pagerank", twitter, 128).total_time
+        )
+
+    def test_similar_at_64(self, twitter):
+        g = run("G", "pagerank", twitter, 64).total_time
+        gl = run("GL-S-R-I", "pagerank", twitter, 64).total_time
+        assert max(g, gl) < 1.6 * min(g, gl)
+
+
+class TestGraphXIterations:
+    """Finding 5 (§5.6): GraphX unsuitable for many-iteration workloads."""
+
+    def test_wcc_wrn_fails_all_sizes(self, wrn):
+        for m in (16, 32, 64, 128):
+            assert run("S", "wcc", wrn, m).failure in (
+                FailureKind.OOM, FailureKind.TIMEOUT
+            )
+
+    def test_slowest_on_twitter_pagerank(self, twitter):
+        s_time = run("S", "pagerank", twitter).total_time
+        for k in ("BV", "BB", "G", "GL-S-R-I", "HD", "HL", "FG"):
+            other = run(k, "pagerank", twitter)
+            if other.ok:
+                assert s_time > other.total_time, k
+
+
+class TestFrameworkOverhead:
+    """Finding 6 (§5.7): Hadoop/Spark overheads carry into Giraph/GraphX."""
+
+    def test_giraph_graphx_overhead_dominates_mpi_systems(self, twitter):
+        for heavy in ("G", "S"):
+            for light in ("BV", "GL-S-R-I"):
+                assert (
+                    run(heavy, "khop", twitter).overhead_time
+                    > 5 * run(light, "khop", twitter).overhead_time
+                )
+
+    def test_hadoop_useful_when_memory_constrained(self, clueweb):
+        """§5.9/5.10: out-of-core Hadoop finishes ClueWeb workloads that
+        in-memory JVM systems cannot."""
+        assert run("HD", "khop", clueweb, 128).ok
+        assert not run("G", "khop", clueweb, 128).ok
+
+
+class TestVerticaFinding:
+    """Finding 7 (§5.11): Vertica is significantly slower; small memory,
+    heavy I/O wait and network."""
+
+    def test_slower_than_native_systems(self, uk):
+        v = run("V", "pagerank", uk, 64)
+        for k in ("BV", "GL-S-R-I", "G"):
+            assert v.total_time > run(k, "pagerank", uk, 64).total_time
+
+    def test_resource_profile(self, uk):
+        v = run("V", "pagerank", uk, 64)
+        gl = run("GL-S-R-I", "pagerank", uk, 64)
+        assert v.peak_memory_bytes < gl.peak_memory_bytes
+        assert v.extras["max_iowait_utilization"] > gl.extras["max_iowait_utilization"]
+        assert v.network_bytes > gl.network_bytes
+
+
+class TestApproximatePagerank:
+    """§5.2: GraphLab's approximate PageRank is the only implementation
+    that beats Blogel's exact one."""
+
+    def test_approx_graphlab_beats_bv(self, twitter):
+        approx = run("GL-S-R-T", "pagerank", twitter)
+        bv = run("BV", "pagerank", twitter)
+        assert approx.ok
+        assert approx.total_time < bv.total_time
+
+    def test_exact_graphlab_does_not(self, twitter):
+        exact = run("GL-S-R-I", "pagerank", twitter)
+        bv = run("BV", "pagerank", twitter)
+        assert exact.total_time > bv.total_time
+
+
+class TestCostFinding:
+    """Finding (§5.13): PR COST 2-3; WRN reachability two orders worse."""
+
+    @pytest.fixture(scope="class")
+    def cost_rows(self):
+        rows = cost_experiment(
+            datasets=("twitter", "wrn"),
+            workloads=("pagerank", "sssp", "wcc"),
+            systems=("BV", "BB", "G", "GL-S-R-I", "GL-S-A-I"),
+        )
+        return {(r.dataset, r.workload): r for r in rows}
+
+    def test_pagerank_cost_two_to_three(self, cost_rows):
+        for dataset in ("twitter", "wrn"):
+            cost = cost_rows[(dataset, "pagerank")].cost
+            assert 1.5 < cost < 4.5
+
+    def test_wrn_reachability_cost_two_orders_down(self, cost_rows):
+        assert cost_rows[("wrn", "sssp")].cost < 0.1
+        assert cost_rows[("wrn", "wcc")].cost < 0.1
+
+    def test_best_parallel_recorded(self, cost_rows):
+        assert cost_rows[("twitter", "pagerank")].best_parallel_system is not None

@@ -1,0 +1,164 @@
+"""Unit tests for the dataset text formats (§4.3)."""
+
+import io
+
+import pytest
+
+from repro.graph import (
+    FORMATS,
+    FormatError,
+    chunk_lines,
+    format_size_bytes,
+    from_edges,
+    read_adj,
+    read_adj_long,
+    read_edge_list,
+    read_graph,
+    write_adj,
+    write_adj_long,
+    write_edge_list,
+    write_graph,
+)
+
+
+@pytest.fixture
+def sample():
+    # vertex 3 has no out-edges: the case that distinguishes adj from adj-long
+    return from_edges([(0, 1), (0, 2), (1, 3), (2, 3)], name="sample")
+
+
+def roundtrip(graph, writer, reader):
+    buf = io.StringIO()
+    writer(graph, buf)
+    buf.seek(0)
+    return reader(buf)
+
+
+class TestAdjFormat:
+    def test_roundtrip(self, sample):
+        g = roundtrip(sample, write_adj, read_adj)
+        assert g.num_edges == sample.num_edges
+
+    def test_sink_vertices_omitted(self, sample):
+        buf = io.StringIO()
+        lines = write_adj(sample, buf)
+        assert lines == 3   # vertex 3 has no line
+
+    def test_adj_roundtrip_loses_isolated_sinks_only_in_line_count(self, sample):
+        # vertex 3 is still created because it appears as a neighbor
+        g = roundtrip(sample, write_adj, read_adj)
+        assert g.num_vertices == sample.num_vertices
+
+    def test_rejects_garbage(self):
+        with pytest.raises(FormatError):
+            read_adj(io.StringIO("0 one two\n"))
+
+    def test_blank_lines_skipped(self):
+        g = read_adj(io.StringIO("\n0 1\n\n"))
+        assert g.num_edges == 1
+
+
+class TestAdjLongFormat:
+    def test_every_vertex_has_line(self, sample):
+        buf = io.StringIO()
+        lines = write_adj_long(sample, buf)
+        assert lines == sample.num_vertices
+
+    def test_roundtrip(self, sample):
+        g = roundtrip(sample, write_adj_long, read_adj_long)
+        assert g == sample
+
+    def test_degree_field_validated(self):
+        with pytest.raises(FormatError):
+            read_adj_long(io.StringIO("0 2 1\n"))   # says degree 2, lists 1
+
+    def test_short_line_rejected(self):
+        with pytest.raises(FormatError):
+            read_adj_long(io.StringIO("0\n"))
+
+    def test_zero_degree_line(self):
+        g = read_adj_long(io.StringIO("5 0\n"))
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestEdgeFormat:
+    def test_roundtrip(self, sample):
+        g = roundtrip(sample, write_edge_list, read_edge_list)
+        assert g.num_edges == sample.num_edges
+
+    def test_line_per_edge(self, sample):
+        buf = io.StringIO()
+        assert write_edge_list(sample, buf) == sample.num_edges
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(FormatError):
+            read_edge_list(io.StringIO("0 1 2\n"))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(FormatError):
+            read_edge_list(io.StringIO("a b\n"))
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_write_read_by_name(self, sample, fmt):
+        buf = io.StringIO()
+        write_graph(sample, buf, fmt)
+        buf.seek(0)
+        g = read_graph(buf, fmt)
+        assert g.num_edges == sample.num_edges
+
+    def test_unknown_format_write(self, sample):
+        with pytest.raises(FormatError):
+            write_graph(sample, io.StringIO(), "parquet")
+
+    def test_unknown_format_read(self):
+        with pytest.raises(FormatError):
+            read_graph(io.StringIO(""), "parquet")
+
+    def test_file_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.adj"
+        write_graph(sample, path, "adj")
+        g = read_graph(path, "adj")
+        assert g.num_edges == sample.num_edges
+
+
+class TestChunking:
+    def test_even_split(self):
+        chunks = chunk_lines(list("abcdef"), 3)
+        assert [len(c) for c in chunks] == [2, 2, 2]
+
+    def test_uneven_split_front_loads(self):
+        chunks = chunk_lines(list("abcde"), 3)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+
+    def test_more_chunks_than_lines(self):
+        chunks = chunk_lines(["x"], 4)
+        assert sum(len(c) for c in chunks) == 1
+        assert len(chunks) == 4
+
+    def test_zero_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_lines([], 0)
+
+    def test_order_preserved(self):
+        chunks = chunk_lines(["a", "b", "c"], 2)
+        assert [line for c in chunks for line in c] == ["a", "b", "c"]
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_size_matches_serialization(self, sample, fmt):
+        buf = io.StringIO()
+        write_graph(sample, buf, fmt)
+        assert format_size_bytes(sample, fmt) == len(buf.getvalue())
+
+    def test_size_on_larger_graph(self, tiny_uk):
+        buf = io.StringIO()
+        write_graph(tiny_uk.graph, buf, "edge")
+        assert format_size_bytes(tiny_uk.graph, "edge") == len(buf.getvalue())
+
+    def test_unknown_format(self, sample):
+        with pytest.raises(FormatError):
+            format_size_bytes(sample, "csv")

@@ -1,0 +1,94 @@
+"""Robustness at the 'medium' dataset size.
+
+Cell-level calibration (which system OOMs where) targets the 'small'
+synthetic datasets; these tests check the properties that must survive
+a 4x change in synthetic resolution — exact answers, headline
+orderings, and the failure *mechanisms* (not their exact thresholds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, FailureKind
+from repro.datasets import load_dataset
+from repro.engines import make_engine, workload_for
+from repro.graph import estimate_diameter, largest_wcc_fraction
+from repro.workloads import reference_sssp, reference_wcc
+
+
+@pytest.fixture(scope="module")
+def medium_twitter():
+    return load_dataset("twitter", "medium")
+
+
+@pytest.fixture(scope="module")
+def medium_wrn():
+    return load_dataset("wrn", "medium")
+
+
+def run(key, workload_name, dataset, machines=16):
+    engine = make_engine(key)
+    workload = workload_for(engine, workload_name, dataset)
+    return engine.run(dataset, workload, ClusterSpec(machines))
+
+
+class TestMediumDatasets:
+    def test_shapes_hold(self, medium_twitter, medium_wrn):
+        assert largest_wcc_fraction(medium_twitter.graph) > 0.99
+        assert medium_wrn.graph.out_degrees().max() <= 9
+        assert estimate_diameter(medium_wrn.graph) > 100 * max(
+            1, estimate_diameter(medium_twitter.graph) // 20
+        )
+
+    def test_scale_factors_shrink_with_resolution(self, medium_twitter):
+        small = load_dataset("twitter", "small")
+        assert medium_twitter.edge_scale < small.edge_scale
+
+
+class TestMediumAnswers:
+    def test_bv_wcc_exact(self, medium_twitter):
+        result = run("BV", "wcc", medium_twitter)
+        assert result.ok
+        assert np.array_equal(
+            result.answer.astype(np.int64), reference_wcc(medium_twitter.graph)
+        )
+
+    def test_giraph_sssp_exact(self, medium_twitter):
+        result = run("G", "sssp", medium_twitter)
+        assert result.ok
+        expected = reference_sssp(medium_twitter.graph,
+                                  medium_twitter.sssp_source)
+        assert np.array_equal(
+            np.nan_to_num(result.answer, posinf=-1),
+            np.nan_to_num(expected, posinf=-1),
+        )
+
+
+class TestMediumOrderings:
+    def test_blogel_still_beats_hadoop_family(self, medium_twitter):
+        bv = run("BV", "pagerank", medium_twitter)
+        hd = run("HD", "pagerank", medium_twitter)
+        assert bv.total_time < 0.1 * hd.total_time
+
+    def test_graphx_still_slowest_in_memory_system(self, medium_twitter):
+        s = run("S", "pagerank", medium_twitter)
+        for key in ("BV", "G", "GL-S-R-I", "FG"):
+            assert s.total_time > run(key, "pagerank", medium_twitter).total_time
+
+    def test_wrn_traversals_still_fail_broadly(self, medium_wrn):
+        failures = sum(
+            0 if run(k, "sssp", medium_wrn).ok else 1
+            for k in ("G", "HD", "S", "FG")
+        )
+        assert failures >= 3
+
+    def test_bb_mpi_mechanism_scale_independent(self, medium_wrn):
+        """The MPI overflow depends on the paper-scale vertex count, so
+        it fires identically at every synthetic resolution."""
+        assert run("BB", "wcc", medium_wrn).failure is FailureKind.MPI
+
+    def test_cost_story_holds(self, medium_wrn):
+        st = run("ST", "sssp", medium_wrn)
+        bv = run("BV", "sssp", medium_wrn)
+        assert bv.ok and st.ok
+        assert st.total_time < 0.2 * bv.total_time   # COST << 1

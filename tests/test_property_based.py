@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These exercise the graph substrate, partitioners, and workloads on
+arbitrary generated graphs, checking the invariants every engine run
+relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph, from_edges
+from repro.partitioning import (
+    random_edge_partition,
+    random_vertex_partition,
+    voronoi_partition,
+)
+from repro.workloads import (
+    KHop,
+    PageRank,
+    SSSP,
+    WCC,
+    reference_sssp,
+    reference_wcc,
+)
+from repro.engines.single_thread import (
+    direction_optimizing_bfs,
+    shiloach_vishkin_wcc,
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=24, max_edges=80):
+    """An arbitrary directed multigraph with at least one vertex."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m, max_size=m,
+        )
+    )
+    return Graph(n, edges)
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, g):
+        assert g.out_degrees().sum() == g.num_edges
+        assert g.in_degrees().sum() == g.num_edges
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_preserves_shape(self, g):
+        rev = g.reversed()
+        assert rev.num_edges == g.num_edges
+        assert np.array_equal(rev.out_degrees(), g.in_degrees())
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_consistency(self, g):
+        edges = set()
+        for v in range(g.num_vertices):
+            for u in g.out_neighbors(v):
+                edges.add((v, int(u)))
+        assert edges == set(g.edges()) or g.num_edges != len(edges)  # duplicates
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_undirected_is_symmetric(self, g):
+        und = g.undirected()
+        pairs = set(und.edges())
+        assert all((d, s) in pairs for s, d in pairs)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_self_edge_removal_idempotent(self, g):
+        clean = g.without_self_edges()
+        assert clean.count_self_edges() == 0
+        assert clean.without_self_edges() == clean
+
+
+class TestPartitioningInvariants:
+    @given(graphs(), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_vertex_partition_total(self, g, parts):
+        p = random_vertex_partition(g, parts)
+        assert p.vertex_counts().sum() == g.num_vertices
+        assert p.edge_counts().sum() == g.num_edges
+        assert 0.0 <= p.cut_fraction() <= 1.0
+
+    @given(graphs(), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_partition_replication_bounds(self, g, parts):
+        p = random_edge_partition(g, parts)
+        counts = p.replica_counts()
+        assert (counts <= parts).all()
+        if g.num_edges:
+            assert 1.0 <= p.replication_factor() <= parts
+
+    @given(graphs(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_voronoi_covers_all_vertices(self, g, parts):
+        bp = voronoi_partition(g, parts)
+        assert (bp.block_of >= 0).all()
+        assert bp.block_sizes().sum() == g.num_vertices
+        assert 0.0 <= bp.cut_fraction() <= bp.block_cut_fraction() + 1e-9
+
+
+class TestWorkloadInvariants:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_wcc_is_valid_labelling(self, g):
+        state = WCC().run_to_completion(g)
+        labels = state.values.astype(np.int64)
+        assert np.array_equal(labels, reference_wcc(g))
+        # endpoint labels agree across every edge
+        src, dst = g.edge_sources(), g.edge_targets()
+        assert np.array_equal(labels[src], labels[dst])
+        # a component's label is one of its members
+        assert all(labels[labels[v]] == labels[v] for v in range(g.num_vertices))
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_sssp_triangle_inequality(self, g):
+        state = SSSP(0).run_to_completion(g)
+        dist = state.values
+        assert np.array_equal(
+            np.nan_to_num(dist, posinf=-1),
+            np.nan_to_num(reference_sssp(g, 0), posinf=-1),
+        )
+        src, dst = g.edge_sources(), g.edge_targets()
+        finite = np.isfinite(dist[src])
+        assert (dist[dst[finite]] <= dist[src[finite]] + 1).all()
+
+    @given(graphs(), st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_khop_prefix_of_sssp(self, g, k):
+        full = SSSP(0).run_to_completion(g).values
+        khop = KHop(0, k=k).run_to_completion(g).values
+        near = full <= k
+        assert np.array_equal(khop[near], full[near])
+        assert np.isinf(khop[~near]).all()
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_pagerank_bounded_below_and_finite(self, g):
+        state = PageRank(stop_mode="iterations", max_iterations=10).run_to_completion(g)
+        assert (state.values >= 0.15 - 1e-12).all()
+        assert np.isfinite(state.values).all()
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_pagerank_mass_conserved_without_sinks(self, g):
+        deg = g.out_degrees()
+        if (deg == 0).any() or g.num_vertices == 0:
+            return   # sinks leak mass by design
+        state = PageRank(stop_mode="iterations", max_iterations=8).run_to_completion(g)
+        assert state.values.sum() == pytest.approx(g.num_vertices, rel=1e-6)
+
+
+class TestGapAlgorithms:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_direction_optimizing_bfs_correct(self, g):
+        dist, ops = direction_optimizing_bfs(g, 0)
+        assert np.array_equal(
+            np.nan_to_num(dist, posinf=-1),
+            np.nan_to_num(reference_sssp(g, 0), posinf=-1),
+        )
+        assert ops >= 0
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_shiloach_vishkin_matches_hashmin(self, g):
+        labels, ops = shiloach_vishkin_wcc(g)
+        assert np.array_equal(labels, reference_wcc(g))
+        assert ops >= 0

@@ -1,0 +1,107 @@
+"""Tests for the CDLP extension workload (LDBC Graphalytics' fifth)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.engines import make_engine, workload_for
+from repro.graph import from_edges
+from repro.workloads import CDLP, WorkloadKind, reference_cdlp
+
+
+def run(key, dataset, machines=16):
+    engine = make_engine(key)
+    workload = workload_for(engine, "cdlp", dataset)
+    return engine.run(dataset, workload, ClusterSpec(machines))
+
+
+class TestCdlpSemantics:
+    def test_two_cliques_two_communities(self):
+        clique_a = [(i, j) for i in range(4) for j in range(4) if i != j]
+        clique_b = [(i, j) for i in range(4, 8) for j in range(4, 8) if i != j]
+        bridge = [(3, 4)]
+        g = from_edges(clique_a + clique_b + bridge)
+        labels = reference_cdlp(g)
+        assert len({labels[i] for i in range(4)}) == 1
+        assert len({labels[i] for i in range(4, 8)}) == 1
+        assert labels[0] != labels[7]
+
+    def test_isolated_vertex_keeps_own_label(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        labels = reference_cdlp(g)
+        assert labels[2] == 2
+
+    def test_deterministic(self, small_uk):
+        a = reference_cdlp(small_uk.graph)
+        b = reference_cdlp(small_uk.graph)
+        assert np.array_equal(a, b)
+
+    def test_label_is_some_vertex_id(self, tiny_twitter):
+        labels = reference_cdlp(tiny_twitter.graph)
+        assert labels.min() >= 0
+        assert labels.max() < tiny_twitter.graph.num_vertices
+
+    def test_host_structure_recovered_on_web(self, tiny_uk):
+        """Web hosts are dense intra-link clusters: CDLP should find
+        far fewer communities than vertices."""
+        labels = reference_cdlp(tiny_uk.graph)
+        communities = len(set(labels.tolist()))
+        hosts = tiny_uk.graph.num_vertices // tiny_uk.meta()["pages_per_host"]
+        assert communities <= 3 * hosts
+
+    def test_workload_matches_reference(self, tiny_uk):
+        state = CDLP().run_to_completion(tiny_uk.graph)
+        assert np.array_equal(
+            state.values.astype(np.int64), reference_cdlp(tiny_uk.graph)
+        )
+
+    def test_iteration_cap(self):
+        # a 2-cycle oscillates; the cap terminates it
+        g = from_edges([(0, 1), (1, 0)])
+        state = CDLP(max_iterations=4).run_to_completion(g)
+        assert state.iteration <= 4
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            CDLP(max_iterations=0)
+
+    def test_kind_and_flags(self):
+        assert CDLP.kind is WorkloadKind.ANALYTIC
+        assert CDLP.needs_reverse_edges
+        assert not CDLP.combinable
+
+
+class TestCdlpOnEngines:
+    @pytest.mark.parametrize("key", ["BV", "BB", "G", "S", "HD", "V", "FG"])
+    def test_answers_exact(self, tiny_twitter, key):
+        result = run(key, tiny_twitter)
+        assert result.ok, result.failure_detail
+        assert np.array_equal(
+            result.answer.astype(np.int64), reference_cdlp(tiny_twitter.graph)
+        )
+
+    def test_graphlab_self_edge_quirk_applies(self, tiny_twitter):
+        """GraphLab computes CDLP on the self-edge-free graph."""
+        result = run("GL-S-R-I", tiny_twitter)
+        noself = reference_cdlp(tiny_twitter.graph.without_self_edges())
+        assert np.array_equal(result.answer.astype(np.int64), noself)
+
+    def test_uncombinable_messages_cost_more(self, tiny_twitter):
+        """CDLP ships full label histograms: more wire bytes than the
+        combinable PageRank at similar iteration counts."""
+        engine = make_engine("BV")
+        cdlp = run("BV", tiny_twitter)
+        pr = engine.run(
+            tiny_twitter,
+            workload_for(engine, "pagerank", tiny_twitter),
+            ClusterSpec(16),
+        )
+        per_iter_cdlp = cdlp.network_bytes / cdlp.iterations
+        per_iter_pr = pr.network_bytes / pr.iterations
+        assert per_iter_cdlp > per_iter_pr
+
+    def test_reverse_edge_memory_like_wcc(self, small_uk):
+        """CDLP doubles Giraph's edge memory: UK at 16 OOMs (like WCC)."""
+        result = run("G", small_uk)
+        assert not result.ok
+        assert run("G", small_uk, machines=64).ok

@@ -1,0 +1,234 @@
+"""Tests for the four workloads against the reference oracles."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.workloads import (
+    DAMPING,
+    HashToMinWCC,
+    KHop,
+    PageRank,
+    SSSP,
+    WCC,
+    WorkloadKind,
+    reference_khop,
+    reference_pagerank,
+    reference_sssp,
+    reference_wcc,
+)
+
+
+class TestPageRank:
+    def test_matches_reference_tolerance(self, small_twitter):
+        g = small_twitter.graph
+        state = PageRank(tolerance=0.001).run_to_completion(g)
+        expected = reference_pagerank(g, tolerance=0.001)
+        assert np.allclose(state.values, expected)
+
+    def test_matches_reference_fixed_iterations(self, small_uk):
+        g = small_uk.graph
+        state = PageRank(stop_mode="iterations", max_iterations=12).run_to_completion(g)
+        expected = reference_pagerank(g, iterations=12)
+        assert np.allclose(state.values, expected)
+
+    def test_fixed_iteration_count_honored(self, tiny_twitter):
+        state = PageRank(stop_mode="iterations", max_iterations=7).run_to_completion(
+            tiny_twitter.graph
+        )
+        assert state.iteration == 7
+
+    def test_ranks_positive(self, tiny_twitter):
+        state = PageRank(tolerance=0.01).run_to_completion(tiny_twitter.graph)
+        assert (state.values >= DAMPING).all()
+
+    def test_hub_outranks_average(self, small_twitter):
+        state = PageRank(tolerance=0.001).run_to_completion(small_twitter.graph)
+        hub = int(small_twitter.graph.in_degrees().argmax())
+        assert state.values[hub] > 10 * state.values.mean()
+
+    def test_approximate_close_to_exact(self, small_twitter):
+        g = small_twitter.graph
+        approx = PageRank(approximate=True, tolerance=0.001).run_to_completion(g)
+        exact = reference_pagerank(g, tolerance=0.001)
+        # opt-out vertices freeze early; error stays within a few tolerances
+        assert np.abs(approx.values - exact).max() < 0.05 * exact.max()
+
+    def test_approximate_deactivates_vertices(self, small_twitter):
+        g = small_twitter.graph
+        state = PageRank(approximate=True, tolerance=0.001)
+        st = state.run_to_completion(g)
+        active_series = [h.active_vertices for h in st.history]
+        assert active_series[0] == g.num_vertices
+        assert active_series[-1] < g.num_vertices * 0.2   # Fig 4's decay
+
+    def test_approximate_fewer_updates(self, small_twitter):
+        g = small_twitter.graph
+        exact = PageRank(tolerance=0.001).run_to_completion(g)
+        approx = PageRank(approximate=True, tolerance=0.001).run_to_completion(g)
+        assert (
+            sum(h.active_vertices for h in approx.history)
+            < sum(h.active_vertices for h in exact.history)
+        )
+
+    def test_messages_counted(self, diamond_graph):
+        wl = PageRank(stop_mode="iterations", max_iterations=1)
+        state = wl.init_state(diamond_graph)
+        stats = wl.superstep(diamond_graph, state)
+        assert stats.messages == diamond_graph.num_edges
+
+    def test_bad_stop_mode(self):
+        with pytest.raises(ValueError):
+            PageRank(stop_mode="never")
+
+    def test_kind_analytic(self):
+        assert PageRank().kind is WorkloadKind.ANALYTIC
+
+
+class TestWCC:
+    def test_matches_reference(self, small_twitter):
+        state = WCC().run_to_completion(small_twitter.graph)
+        assert np.array_equal(
+            state.values.astype(np.int64), reference_wcc(small_twitter.graph)
+        )
+
+    def test_two_components(self, two_components):
+        state = WCC().run_to_completion(two_components)
+        assert set(state.values.astype(int)) == {0, 3}
+
+    def test_labels_are_component_minimums(self, small_wrn):
+        state = WCC().run_to_completion(small_wrn.graph)
+        assert state.values.min() == 0
+
+    def test_respects_edge_direction_blindness(self):
+        # a path of forward-only edges is still one weak component
+        g = from_edges([(0, 1), (2, 1), (2, 3)])
+        state = WCC().run_to_completion(g)
+        assert len(set(state.values.astype(int))) == 1
+
+    def test_iterations_track_diameter(self, small_wrn, small_twitter):
+        wrn = WCC().run_to_completion(small_wrn.graph)
+        tw = WCC().run_to_completion(small_twitter.graph)
+        assert wrn.iteration > 20 * tw.iteration
+
+    def test_needs_reverse_edges_flag(self):
+        assert WCC.needs_reverse_edges is True
+
+    def test_hash_to_min_matches(self, small_uk):
+        a = WCC().run_to_completion(small_uk.graph)
+        b = HashToMinWCC().run_to_completion(small_uk.graph)
+        assert np.array_equal(a.values, b.values)
+
+    def test_hash_to_min_fewer_iterations(self, small_wrn):
+        plain = WCC().run_to_completion(small_wrn.graph)
+        h2m = HashToMinWCC().run_to_completion(small_wrn.graph)
+        assert h2m.iteration < plain.iteration
+
+    def test_hash_to_min_more_messages_per_iteration(self, small_wrn):
+        plain = WCC().run_to_completion(small_wrn.graph)
+        h2m = HashToMinWCC().run_to_completion(small_wrn.graph)
+        per_iter_plain = sum(h.messages for h in plain.history) / plain.iteration
+        per_iter_h2m = sum(h.messages for h in h2m.history) / h2m.iteration
+        assert per_iter_h2m > per_iter_plain
+
+
+class TestSSSP:
+    def test_matches_reference(self, small_twitter):
+        src = small_twitter.sssp_source
+        state = SSSP(src).run_to_completion(small_twitter.graph)
+        expected = reference_sssp(small_twitter.graph, src)
+        assert np.array_equal(
+            np.nan_to_num(state.values, posinf=-1),
+            np.nan_to_num(expected, posinf=-1),
+        )
+
+    def test_source_distance_zero(self, tiny_twitter):
+        state = SSSP(tiny_twitter.sssp_source).run_to_completion(tiny_twitter.graph)
+        assert state.values[tiny_twitter.sssp_source] == 0.0
+
+    def test_unreachable_infinite(self, two_components):
+        state = SSSP(0).run_to_completion(two_components)
+        assert np.isinf(state.values[3])
+
+    def test_directed_distances(self, diamond_graph):
+        state = SSSP(0).run_to_completion(diamond_graph)
+        assert list(state.values) == [0.0, 1.0, 1.0, 2.0]
+
+    def test_iterations_equal_eccentricity_plus_one(self, small_wrn):
+        state = SSSP(small_wrn.sssp_source).run_to_completion(small_wrn.graph)
+        reached = state.values[np.isfinite(state.values)]
+        assert state.iteration == int(reached.max()) + 1
+
+    def test_out_of_range_source(self, diamond_graph):
+        with pytest.raises(ValueError):
+            SSSP(99).init_state(diamond_graph)
+
+    def test_kind_traversal(self):
+        assert SSSP().kind is WorkloadKind.TRAVERSAL
+
+
+class TestKHop:
+    def test_matches_reference(self, small_twitter):
+        src = small_twitter.sssp_source
+        state = KHop(src, k=3).run_to_completion(small_twitter.graph)
+        expected = reference_khop(small_twitter.graph, src, k=3)
+        assert np.array_equal(
+            np.nan_to_num(state.values, posinf=-1),
+            np.nan_to_num(expected, posinf=-1),
+        )
+
+    def test_stops_at_k(self, small_wrn):
+        state = KHop(small_wrn.sssp_source, k=3).run_to_completion(small_wrn.graph)
+        assert state.iteration == 3
+
+    def test_distances_bounded_by_k(self, small_uk):
+        state = KHop(small_uk.sssp_source, k=3).run_to_completion(small_uk.graph)
+        finite = state.values[np.isfinite(state.values)]
+        assert finite.max() <= 3
+
+    def test_reachable_count(self, small_wrn):
+        wl = KHop(small_wrn.sssp_source, k=3)
+        state = wl.run_to_completion(small_wrn.graph)
+        # a bounded-degree road network reaches few vertices in 3 hops
+        assert wl.reachable_count(state) < 60
+
+    def test_khop_diameter_insensitive(self, small_wrn, small_twitter):
+        a = KHop(small_wrn.sssp_source, k=3).run_to_completion(small_wrn.graph)
+        b = KHop(small_twitter.sssp_source, k=3).run_to_completion(small_twitter.graph)
+        assert a.iteration == b.iteration == 3
+
+    def test_k_zero(self, diamond_graph):
+        state = KHop(0, k=0).run_to_completion(diamond_graph)
+        assert np.isfinite(state.values).sum() == 1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            KHop(0, k=-1)
+
+    def test_result_bytes_scale_with_reach(self, small_wrn, small_twitter):
+        wrn_wl = KHop(small_wrn.sssp_source, k=3)
+        wrn_state = wrn_wl.run_to_completion(small_wrn.graph)
+        tw_wl = KHop(small_twitter.sssp_source, k=3)
+        tw_state = tw_wl.run_to_completion(small_twitter.graph)
+        assert (
+            wrn_wl.result_bytes_from_state(small_wrn.graph, wrn_state)
+            < tw_wl.result_bytes_from_state(small_twitter.graph, tw_state)
+        )
+
+
+class TestWorkloadHistory:
+    def test_history_one_entry_per_superstep(self, tiny_twitter):
+        state = PageRank(stop_mode="iterations", max_iterations=5).run_to_completion(
+            tiny_twitter.graph
+        )
+        assert len(state.history) == 5
+        assert [h.iteration for h in state.history] == [1, 2, 3, 4, 5]
+
+    def test_last_entry_converged(self, tiny_twitter):
+        state = WCC().run_to_completion(tiny_twitter.graph)
+        assert state.history[-1].converged
+        assert all(not h.converged for h in state.history[:-1])
+
+    def test_run_to_completion_guard(self, small_wrn):
+        with pytest.raises(RuntimeError):
+            WCC().run_to_completion(small_wrn.graph, max_supersteps=3)
