@@ -8,6 +8,7 @@ Subcommands mirror the study's workflow::
     repro cost                          # Table 9 (the COST experiment)
     repro weak BV pagerank twitter      # the weak-scaling extension
     repro report runs.jsonl -o out.md   # Markdown report from a log
+    repro lint src/                     # enforce the model contracts (RPLxxx)
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -76,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="render a Markdown report from a log")
     p.add_argument("log", help="JSONL file written by 'repro grid --log'")
     p.add_argument("-o", "--output", help="write the report here (default stdout)")
+
+    p = sub.add_parser(
+        "lint", help="static analysis of the model contracts (RPL001-RPL008)"
+    )
+    p.add_argument("paths", nargs="*", default=["src"],
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", help="comma-separated rule codes (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print every rule with its rationale and exit")
 
     return parser
 
@@ -204,6 +215,17 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(
+        paths=args.paths,
+        fmt=args.format,
+        select=args.select,
+        list_rules=args.list_rules,
+    )
+
+
 _COMMANDS = {
     "datasets": _cmd_datasets,
     "run": _cmd_run,
@@ -212,6 +234,7 @@ _COMMANDS = {
     "weak": _cmd_weak,
     "findings": _cmd_findings,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 

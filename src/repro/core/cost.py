@@ -11,13 +11,12 @@ COST 2-3, but reachability workloads on the road network fall to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..cluster import ClusterSpec
-from ..datasets.registry import Dataset, load_dataset
+from ..datasets.registry import load_dataset
 from ..engines import make_engine, workload_for
 from ..engines.base import RunResult
-from .runner import ResultGrid, run_cell
+from .runner import run_cell
 
 __all__ = ["CostRow", "cost_factor", "cost_experiment"]
 

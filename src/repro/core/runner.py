@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..cluster import CLUSTER_SIZES, ClusterSpec
 from ..datasets.registry import Dataset, load_dataset
 from ..engines import make_engine, systems_for_workload, workload_for
-from ..engines.base import Engine, RunResult
+from ..engines.base import RunResult
 
 __all__ = ["ExperimentSpec", "ResultGrid", "run_cell", "run_grid"]
 

@@ -17,8 +17,6 @@ All generators are deterministic given a seed.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..graph.structures import Graph

@@ -6,8 +6,6 @@
 use the iteration-mode lineup).
 """
 
-from typing import Dict, List
-
 from .base import (Engine, RunResult, WORKLOAD_NAMES, EXTENSION_WORKLOADS,
                    iteration_scale,
                    make_workload, workload_for)

@@ -22,7 +22,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, Optional
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -190,8 +191,9 @@ class Engine(abc.ABC):
     display_name: str = ""
     #: implementation language, for Table 1 and the §7 discussion
     language: str = ""
-    #: Table 1 feature row
-    features: Dict[str, str] = {}
+    #: Table 1 feature row (immutable: class attributes are shared by
+    #: every run in the process, so subclasses wrap theirs the same way)
+    features: Mapping[str, str] = MappingProxyType({})
     #: MPI engines run a rank on every machine including the master
     uses_all_machines: bool = False
     #: dataset text format the system ingests (§4.3)
@@ -255,7 +257,8 @@ class Engine(abc.ABC):
             cluster.sample_memory()
             result.network_bytes = cluster.tracker.network_total_bytes()
             result.peak_memory_bytes = max(
-                cluster.memory.peak_bytes(m) for m in range(cluster.num_workers)
+                (cluster.memory.peak_bytes(m) for m in range(cluster.num_workers)),
+                default=0.0,
             )
             result.total_memory_bytes = cluster.memory.total_peak_bytes()
             result.extras["tracker_peak_total"] = float(

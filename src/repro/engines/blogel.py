@@ -24,6 +24,8 @@ serial algorithm inside each block, synchronizing blocks with BSP:
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from functools import lru_cache
 from typing import Tuple
 
@@ -33,7 +35,7 @@ from ..cluster import GB, Cluster, MPIOverflowError
 from ..datasets.registry import Dataset
 from ..graph.structures import Graph
 from ..partitioning.voronoi import INT32_MAX, BlockPartition
-from ..workloads.base import Workload, WorkloadState
+from ..workloads.base import WorkloadState
 from ..workloads.pagerank import DAMPING, PageRank
 from ..workloads.sssp import KHop
 from .base import Engine, RunResult
@@ -51,14 +53,14 @@ class BlogelVEngine(BspExecutionMixin, Engine):
     language = "C++"
     input_format = "adj-long"
     uses_all_machines = True
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory",
         "paradigm": "Vertex-Centric",
         "declarative": "no",
         "partitioning": "Random",
         "synchronization": "Synchronous",
         "fault_tolerance": "global checkpoint",
-    }
+    })
 
     # memory model: compact C++ structs
     vertex_bytes = 100.0
@@ -205,14 +207,14 @@ class BlogelBEngine(BspExecutionMixin, Engine):
     language = "C++"
     input_format = "adj-long"
     uses_all_machines = True
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory",
         "paradigm": "Block-Centric",
         "declarative": "no",
         "partitioning": "Voronoi",
         "synchronization": "Synchronous",
         "fault_tolerance": "global checkpoint",
-    }
+    })
 
     vertex_bytes = 110.0     # vertex + block id
     edge_bytes = 16.0

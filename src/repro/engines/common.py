@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-from ..datasets.registry import Dataset, load_dataset
+from ..datasets.registry import load_dataset
 from ..partitioning.edge_cut import VertexPartition, random_vertex_partition
 from ..partitioning.vertex_cut import (
     EdgePartition,

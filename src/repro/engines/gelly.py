@@ -25,9 +25,10 @@ paper:
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from ..cluster import GB, Cluster, SimulatedOOM
 from ..datasets.registry import Dataset
-from ..workloads.base import Workload
 from .base import Engine, RunResult
 from .bsp import BspExecutionMixin
 from .common import COSTS, cached_vertex_partition
@@ -44,14 +45,14 @@ class GellyEngine(BspExecutionMixin, Engine):
     language = "Java/Scala"
     input_format = "edge"
     uses_all_machines = False   # one machine hosts the JobManager
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory/Disk",
         "paradigm": "Stream/Dataflow (BSP iterations)",
         "declarative": "no",
         "partitioning": "Random",
         "synchronization": "Synchronous",
         "fault_tolerance": "checkpoint",
-    }
+    })
 
     # memory model: serialized binary rows in managed memory
     edge_bytes = 16.0

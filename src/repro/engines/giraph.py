@@ -18,9 +18,11 @@ Model highlights, each traceable to the paper:
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from ..cluster import GB, Cluster
 from ..datasets.registry import Dataset
-from ..workloads.base import SuperstepStats, Workload, WorkloadState
+from ..workloads.base import Workload, WorkloadState
 from .base import Engine, RunResult
 from .bsp import BspExecutionMixin
 from .common import COSTS, cached_vertex_partition
@@ -37,14 +39,14 @@ class GiraphEngine(BspExecutionMixin, Engine):
     language = "Java"
     input_format = "adj"
     uses_all_machines = False   # runs as Hadoop mappers; master excluded
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory",
         "paradigm": "Vertex-Centric",
         "declarative": "no",
         "partitioning": "Random",
         "synchronization": "Synchronous",
         "fault_tolerance": "global checkpoint",
-    }
+    })
 
     # memory model (paper-scale bytes)
     jvm_base_bytes = 6.0 * GB     # per-worker JVM + framework baseline

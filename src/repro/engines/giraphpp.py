@@ -17,6 +17,8 @@ does, by memory.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from ..cluster import GB, Cluster
 from ..datasets.registry import Dataset
 from .base import RunResult
@@ -34,14 +36,14 @@ class GiraphPlusPlusEngine(BlogelBEngine):
     language = "Java"
     input_format = "adj"
     uses_all_machines = False    # Hadoop mappers; master excluded
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory",
         "paradigm": "Block-Centric",
         "declarative": "no",
         "partitioning": "METIS (Voronoi stand-in)",
         "synchronization": "(A)synchronous",
         "fault_tolerance": "global checkpoint",
-    }
+    })
 
     # Giraph's JVM memory model, plus a block-id per vertex
     jvm_base_bytes = 6.0 * GB

@@ -26,6 +26,9 @@ highlights:
 
 from __future__ import annotations
 
+from functools import lru_cache
+from types import MappingProxyType
+
 from ..cluster import GB, Cluster
 from ..datasets.registry import Dataset
 from ..graph.structures import Graph
@@ -44,14 +47,14 @@ class GraphLabEngine(BspExecutionMixin, Engine):
     language = "C++"
     input_format = "adj"
     uses_all_machines = True    # MPI rank on every machine
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory",
         "paradigm": "Vertex-Centric (GAS)",
         "declarative": "no",
         "partitioning": "Random / Vertex-cut",
         "synchronization": "(A)synchronous",
         "fault_tolerance": "global checkpoint",
-    }
+    })
 
     # memory model (paper-scale bytes)
     edge_bytes = 95.0            # edge with endpoint refs, data, index
@@ -198,9 +201,6 @@ class GraphLabEngine(BspExecutionMixin, Engine):
             self.graph_for(dataset, workload), dataset, workload, cluster,
             result, scale,
         )
-
-
-from functools import lru_cache
 
 
 @lru_cache(maxsize=None)

@@ -20,9 +20,10 @@ K-hop, whose 3 iterations stay under the trigger).
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from ..cluster import GB, Cluster, ShuffleError
 from ..datasets.registry import Dataset
-from ..workloads.base import Workload
 from .base import Engine, RunResult
 from .bsp import BspExecutionMixin
 from .common import COSTS
@@ -39,14 +40,14 @@ class HadoopEngine(BspExecutionMixin, Engine):
     input_format = "adj"
     uses_all_machines = False
     fault_tolerance = "reexecution"
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Disk",
         "paradigm": "BSP (MapReduce)",
         "declarative": "no",
         "partitioning": "Random",
         "synchronization": "Synchronous",
         "fault_tolerance": "re-execution",
-    }
+    })
 
     streaming_buffer_bytes = 2.0 * GB   # sort buffers etc., per worker
     job_start_overhead = 12.0           # JVM spin-up + scheduling per job
@@ -138,7 +139,9 @@ class HaLoopEngine(HadoopEngine):
 
     key = "HL"
     display_name = "HaLoop"
-    features = dict(HadoopEngine.features, paradigm="BSP-extension (MapReduce)")
+    features = MappingProxyType(
+        dict(HadoopEngine.features, paradigm="BSP-extension (MapReduce)")
+    )
 
     #: the mapper-output deletion bug triggers here (§5.10 footnote 12)
     shuffle_bug_min_machines = 64

@@ -18,11 +18,13 @@ count* at paper scale on the COST machine.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from typing import Tuple
 
 import numpy as np
 
-from ..cluster import Cluster, ClusterSpec, COST_MACHINE, GB
+from ..cluster import ClusterSpec, COST_MACHINE, GB
 from ..datasets.registry import Dataset
 from ..graph.structures import Graph
 from ..workloads.base import Workload, WorkloadState
@@ -153,14 +155,14 @@ class SingleThreadEngine(Engine):
     language = "C++"
     input_format = "edge"
     uses_all_machines = False
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory",
         "paradigm": "Single-thread",
         "declarative": "no",
         "partitioning": "None",
         "synchronization": "N/A",
         "fault_tolerance": "N/A",
-    }
+    })
 
     parse_rate_bps = 45e6        # text parsing, single thread
     op_cost = 5.0e-9             # per edge-examination (optimized C++)

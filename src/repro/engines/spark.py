@@ -23,6 +23,8 @@ documents:
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from functools import lru_cache
 from typing import Optional
 
@@ -30,7 +32,6 @@ import numpy as np
 
 from ..cluster import GB, Cluster
 from ..datasets.registry import Dataset
-from ..workloads.base import Workload
 from .base import Engine, RunResult
 from .bsp import BspExecutionMixin
 from .common import COSTS, cached_edge_partition
@@ -81,14 +82,14 @@ class GraphXEngine(BspExecutionMixin, Engine):
     language = "Scala"
     input_format = "edge"
     uses_all_machines = False   # one machine runs the driver
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Memory/Disk",
         "paradigm": "BSP-extension",
         "declarative": "no",
         "partitioning": "Random / Vertex-cut",
         "synchronization": "Synchronous",
         "fault_tolerance": "global checkpoint (lineage)",
-    }
+    })
 
     # memory model
     rdd_edge_bytes = 40.0

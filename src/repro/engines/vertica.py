@@ -16,12 +16,12 @@ network volume dominate — Figure 13's profile.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from ..cluster import GB, Cluster
-from ..datasets.registry import Dataset
-from ..workloads.base import Workload, WorkloadKind
+from ..workloads.base import WorkloadKind
 from .base import Engine, RunResult
 from .bsp import BspExecutionMixin
-from .common import COSTS
 
 __all__ = ["VerticaEngine"]
 
@@ -35,14 +35,14 @@ class VerticaEngine(BspExecutionMixin, Engine):
     input_format = "edge"
     uses_all_machines = True    # shared-nothing database on every node
     fault_tolerance = "none"
-    features = {
+    features = MappingProxyType({
         "memory_disk": "Disk",
         "paradigm": "Relational",
         "declarative": "yes (SQL)",
         "partitioning": "Random",
         "synchronization": "Synchronous",
         "fault_tolerance": "N/A",
-    }
+    })
 
     edge_row_bytes = 16.0        # (src, dst) columns, compressed on disk
     vertex_row_bytes = 16.0
@@ -65,7 +65,6 @@ class VerticaEngine(BspExecutionMixin, Engine):
 
     def charge_superstep(self, dataset, workload, cluster, stats, first):
         """One iteration = join + aggregate + temp-table swap."""
-        active = dataset.scaled_vertices(stats.active_vertices)
         messages = dataset.scaled_edges(stats.messages)
         machines = cluster.num_workers
 

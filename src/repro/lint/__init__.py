@@ -1,0 +1,125 @@
+"""repro.lint — domain-aware static analysis for the simulation's contracts.
+
+The paper's conclusions only hold if every engine faithfully executes
+its computation model; in this codebase that faithfulness is a set of
+code contracts (all time flows through ``cluster.advance``, supersteps
+are pure over the ``Graph``, randomness is seeded, only
+:class:`SimulatedFailure` signals run failure, ...). This package
+machine-checks those contracts with an AST-based analyzer built on the
+stdlib ``ast`` module — no third-party dependencies.
+
+Usage::
+
+    python -m repro.lint src/              # lint a tree, exit 1 on findings
+    python -m repro.lint --format json src # machine-readable report
+    repro lint                             # same, via the main CLI
+
+Each rule has a stable code (RPL001..RPL008); a finding on a line is
+suppressed by a trailing ``# noqa: RPLxxx`` comment (bare ``# noqa``
+suppresses every code on that line).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from .rules import ALL_RULES, RULES_BY_CODE, Rule, Violation
+from .source import SourceModule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "Rule",
+    "Violation",
+    "SourceModule",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "select_rules",
+    "PARSE_ERROR_CODE",
+]
+
+#: pseudo-code reported when a file cannot be parsed at all
+PARSE_ERROR_CODE = "RPL000"
+
+
+def select_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Resolve a list of rule codes into rule instances (all by default)."""
+    if select is None:
+        return list(ALL_RULES)
+    rules = []
+    for code in select:
+        code = code.strip().upper()
+        if code not in RULES_BY_CODE:
+            raise KeyError(
+                f"unknown rule code {code!r}; expected one of "
+                f"{sorted(RULES_BY_CODE)}"
+            )
+        rules.append(RULES_BY_CODE[code])
+    return rules
+
+
+def lint_source(
+    text: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns sorted, noqa-filtered violations."""
+    if rules is None:
+        rules = ALL_RULES
+    try:
+        module = SourceModule.parse(text, path=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse file: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    violations = []
+    for rule in rules:
+        for violation in rule.check(module):
+            if not module.suppressed(violation.code, violation.line):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    return lint_source(text, path=path, rules=rules)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        else:
+            found.append(path)
+    return found
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    violations = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, rules=rules))
+    return violations

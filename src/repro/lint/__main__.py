@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` — run the domain-aware static analyzer."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,97 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exit codes follow linter convention: 0 clean, 1 findings, 2 bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import iter_python_files, lint_file, select_rules
+from .reporters import render_json, render_rule_list, render_text
+
+__all__ = ["main", "build_parser", "run_lint"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Domain-aware static analysis for the simulation's model "
+            "contracts (rules RPL001-RPL008)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its rationale and exit",
+    )
+    return parser
+
+
+def run_lint(
+    paths: List[str],
+    fmt: str = "text",
+    select: Optional[str] = None,
+    list_rules: bool = False,
+) -> int:
+    """Run the analyzer; prints a report and returns the exit code."""
+    if list_rules:
+        print(render_rule_list())
+        return 0
+    try:
+        rules = select_rules(select.split(",") if select else None)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    files = iter_python_files(paths)
+    if not files:
+        print(f"no Python files under {paths}", file=sys.stderr)
+        return 2
+    violations = []
+    for path in files:
+        try:
+            violations.extend(lint_file(path, rules=rules))
+        except OSError as exc:
+            print(f"cannot read {path}: {exc.strerror}", file=sys.stderr)
+            return 2
+    render = render_json if fmt == "json" else render_text
+    print(render(violations, files_checked=len(files)))
+    return 1 if violations else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return run_lint(
+            paths=args.paths,
+            fmt=args.format,
+            select=args.select,
+            list_rules=args.list_rules,
+        )
+    except BrokenPipeError:
+        # report piped into head/less that exited early; not an error
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

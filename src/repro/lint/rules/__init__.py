@@ -1,0 +1,32 @@
+"""Rule registry: every RPL rule, instantiated once, keyed by code."""
+
+from .base import Rule, Violation, model_classes
+from .rpl001_wallclock import WallClockRule
+from .rpl002_randomness import RandomnessRule
+from .rpl003_purity import SuperstepPurityRule
+from .rpl004_mutable_defaults import MutableClassDefaultRule
+from .rpl005_exceptions import ExceptionDisciplineRule
+from .rpl006_metadata import EngineMetadataRule
+from .rpl007_cost_accounting import CostAccountingRule
+from .rpl008_set_iteration import SetIterationRule
+
+__all__ = [
+    "Rule",
+    "Violation",
+    "model_classes",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+]
+
+ALL_RULES = (
+    WallClockRule(),
+    RandomnessRule(),
+    SuperstepPurityRule(),
+    MutableClassDefaultRule(),
+    ExceptionDisciplineRule(),
+    EngineMetadataRule(),
+    CostAccountingRule(),
+    SetIterationRule(),
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -26,7 +26,6 @@ __all__ = ["CDLP", "reference_cdlp"]
 
 def _propagate_once(graph: Graph, labels: np.ndarray) -> np.ndarray:
     """One synchronous round: most-frequent neighbour label, min-tiebreak."""
-    n = graph.num_vertices
     src = graph.edge_sources()
     dst = graph.edge_targets()
     # incidence in both directions: (receiver, sender-label)

@@ -10,8 +10,6 @@ optimizations, §5.13).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict
-
 import numpy as np
 
 from ..graph.structures import Graph

@@ -1,0 +1,478 @@
+"""repro.lint: every RPL rule has a positive and a negative fixture,
+noqa suppression works, the CLI exits correctly, and — the contract the
+whole package exists for — src/repro itself is lint-clean."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    PARSE_ERROR_CODE,
+    RULES_BY_CODE,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.lint.cli import main as lint_main
+
+SRC_REPRO = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+def run(snippet, select=None):
+    rules = select_rules([select]) if select else None
+    return lint_source(textwrap.dedent(snippet), path="fixture.py", rules=rules)
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_registry_covers_rpl001_through_rpl008():
+    assert sorted(RULES_BY_CODE) == [f"RPL00{i}" for i in range(1, 9)]
+    assert len(ALL_RULES) == 8
+    for rule in ALL_RULES:
+        assert rule.name and rule.rationale
+
+
+def test_select_rules_rejects_unknown_code():
+    with pytest.raises(KeyError):
+        select_rules(["RPL999"])
+
+
+# -- RPL001 wall-clock ------------------------------------------------------
+
+def test_rpl001_flags_wall_clock_calls():
+    found = run(
+        """
+        import time
+        from datetime import datetime
+
+        def load_phase():
+            start = time.time()
+            time.sleep(0.1)
+            stamp = datetime.now()
+            return start, stamp
+        """,
+        select="RPL001",
+    )
+    assert codes(found) == ["RPL001", "RPL001", "RPL001"]
+    assert found[0].line == 6
+    assert "time.time" in found[0].message
+
+
+def test_rpl001_resolves_aliases():
+    found = run(
+        """
+        import time as t
+
+        def f():
+            return t.perf_counter()
+        """,
+        select="RPL001",
+    )
+    assert codes(found) == ["RPL001"]
+
+
+def test_rpl001_clean_simulated_time():
+    found = run(
+        """
+        def execute(cluster):
+            cluster.advance(3.5)
+            return cluster.now
+        """,
+        select="RPL001",
+    )
+    assert found == []
+
+
+# -- RPL002 randomness ------------------------------------------------------
+
+def test_rpl002_flags_global_rng_and_unseeded_generator():
+    found = run(
+        """
+        import random
+        import numpy as np
+
+        def sample():
+            a = random.random()
+            b = np.random.rand(4)
+            rng = np.random.default_rng()
+            return a, b, rng
+        """,
+        select="RPL002",
+    )
+    assert codes(found) == ["RPL002", "RPL002", "RPL002"]
+    assert "OS-seeded" in found[2].message
+
+
+def test_rpl002_clean_seeded_generator():
+    found = run(
+        """
+        import numpy as np
+
+        def sample(seed):
+            rng = np.random.default_rng(seed)
+            other = np.random.default_rng(7)
+            return rng.random(), other.integers(10)
+        """,
+        select="RPL002",
+    )
+    assert found == []
+
+
+# -- RPL003 superstep purity ------------------------------------------------
+
+def test_rpl003_flags_graph_mutation_and_globals():
+    found = run(
+        """
+        CACHE = {}
+
+        class Sloppy:
+            def superstep(self, graph, state):
+                global CACHE
+                graph.weights = None
+                graph.adj[0] = []
+                CACHE["x"] = 1
+                return state
+        """,
+        select="RPL003",
+    )
+    assert len(found) == 4
+    assert all(c == "RPL003" for c in codes(found))
+    messages = " | ".join(v.message for v in found)
+    assert "global" in messages and "graph" in messages
+
+
+def test_rpl003_flags_execute_writing_dataset_graph():
+    found = run(
+        """
+        class Eng:
+            def _execute(self, dataset, workload, cluster, result, scale):
+                dataset.graph.labels = None
+        """,
+        select="RPL003",
+    )
+    assert codes(found) == ["RPL003"]
+
+
+def test_rpl003_clean_state_mutation():
+    found = run(
+        """
+        class Tidy:
+            def superstep(self, graph, state):
+                state.values[graph.sources] = 0.0
+                state.iteration += 1
+                return state
+        """,
+        select="RPL003",
+    )
+    assert found == []
+
+
+# -- RPL004 mutable class defaults ------------------------------------------
+
+def test_rpl004_flags_mutable_defaults_on_model_classes():
+    found = run(
+        """
+        class MyEngine:
+            features = {}
+            pending = []
+
+        class MyWorkload(Workload):
+            seen = set()
+        """,
+        select="RPL004",
+    )
+    assert codes(found) == ["RPL004", "RPL004", "RPL004"]
+    assert "features" in found[0].message
+
+
+def test_rpl004_ignores_immutable_defaults_and_non_model_classes():
+    found = run(
+        """
+        from types import MappingProxyType
+
+        class MyEngine:
+            features = MappingProxyType({"a": "b"})
+            order = ("load", "execute")
+
+        class Unrelated:
+            cache = {}
+        """,
+        select="RPL004",
+    )
+    assert found == []
+
+
+# -- RPL005 exception discipline --------------------------------------------
+
+def test_rpl005_flags_bare_except_everywhere():
+    found = run(
+        """
+        def helper():
+            try:
+                return 1
+            except:
+                return 2
+        """,
+        select="RPL005",
+    )
+    assert codes(found) == ["RPL005"]
+    assert "bare" in found[0].message
+
+
+def test_rpl005_flags_swallowed_broad_except_in_phase_method():
+    found = run(
+        """
+        class Eng:
+            def _execute(self, dataset, workload, cluster, result, scale):
+                try:
+                    return self.loop()
+                except Exception:
+                    return None
+        """,
+        select="RPL005",
+    )
+    assert codes(found) == ["RPL005"]
+    assert "SimulatedFailure" in found[0].message
+
+
+def test_rpl005_clean_typed_or_reraising_handlers():
+    found = run(
+        """
+        class Eng:
+            def _execute(self, dataset, workload, cluster, result, scale):
+                try:
+                    return self.loop()
+                except SimulatedFailure:
+                    raise
+                except Exception as exc:
+                    raise RuntimeError("wrap") from exc
+
+        def parse(text):
+            try:
+                return int(text)
+            except ValueError:
+                return 0
+        """,
+        select="RPL005",
+    )
+    assert found == []
+
+
+# -- RPL006 engine metadata -------------------------------------------------
+
+def test_rpl006_flags_concrete_engine_missing_metadata():
+    found = run(
+        """
+        class SparseEngine(Engine):
+            key = "SP"
+
+            def _load(self, dataset, workload, cluster, result):
+                pass
+        """,
+        select="RPL006",
+    )
+    assert codes(found) == ["RPL006"]
+    assert "display_name" in found[0].message
+    assert "language" in found[0].message
+
+
+def test_rpl006_accepts_inherited_and_init_assigned_metadata():
+    found = run(
+        """
+        class FullEngine(Engine):
+            key = "F"
+            display_name = "Full"
+            language = "C++"
+
+        class DerivedEngine(FullEngine):
+            key = "F2"
+            display_name = "Full v2"
+
+        class InitEngine(Engine):
+            display_name = "Init"
+            language = "Java"
+
+            def __init__(self, mode):
+                self.key = f"I-{mode}"
+        """,
+        select="RPL006",
+    )
+    assert found == []
+
+
+def test_rpl006_skips_abstract_and_mixin_classes():
+    found = run(
+        """
+        import abc
+
+        class LoopMixin:
+            pass
+
+        class PartialEngine(Engine):
+            @abc.abstractmethod
+            def _execute(self, dataset, workload, cluster, result, scale):
+                ...
+        """,
+        select="RPL006",
+    )
+    assert found == []
+
+
+# -- RPL007 cost accounting -------------------------------------------------
+
+def test_rpl007_flags_clock_and_tracker_writes():
+    found = run(
+        """
+        def cheat(cluster):
+            cluster.now = 0.0
+            cluster.clock.now = 10.0
+            cluster.tracker.network_bytes_sent += 1024
+        """,
+        select="RPL007",
+    )
+    assert codes(found) == ["RPL007", "RPL007", "RPL007"]
+    assert "advance" in found[0].message
+
+
+def test_rpl007_clean_api_usage():
+    found = run(
+        """
+        def charge(cluster):
+            cluster.advance(5.0)
+            cluster.tracker.record_network(sent=10.0, received=10.0)
+            now = cluster.now
+            return now
+        """,
+        select="RPL007",
+    )
+    assert found == []
+
+
+# -- RPL008 set iteration ---------------------------------------------------
+
+def test_rpl008_flags_accumulation_over_set():
+    found = run(
+        """
+        def total(values):
+            acc = 0.0
+            for v in set(values):
+                acc += v
+            return acc
+        """,
+        select="RPL008",
+    )
+    assert codes(found) == ["RPL008"]
+    assert "sorted" in found[0].message
+
+
+def test_rpl008_flags_message_emission_over_set_method():
+    found = run(
+        """
+        def fanout(frontier, other, outbox):
+            for v in frontier.intersection(other):
+                outbox.append(v)
+        """,
+        select="RPL008",
+    )
+    assert codes(found) == ["RPL008"]
+
+
+def test_rpl008_clean_sorted_iteration():
+    found = run(
+        """
+        def total(values):
+            acc = 0.0
+            for v in sorted(set(values)):
+                acc += v
+            return acc
+        """,
+        select="RPL008",
+    )
+    assert found == []
+
+
+# -- suppression and parse errors -------------------------------------------
+
+def test_noqa_suppresses_specific_code():
+    found = run(
+        """
+        import time
+
+        def f():
+            return time.time()  # noqa: RPL001
+        """,
+    )
+    assert found == []
+
+
+def test_noqa_bare_suppresses_all_and_wrong_code_does_not():
+    src = """
+    import time
+
+    def f():
+        a = time.time()  # noqa
+        b = time.time()  # noqa: RPL004
+        return a, b
+    """
+    found = run(src)
+    assert codes(found) == ["RPL001"]
+    assert found[0].line == 6
+
+
+def test_parse_error_reported_as_rpl000():
+    found = lint_source("def broken(:\n", path="bad.py")
+    assert codes(found) == [PARSE_ERROR_CODE]
+
+
+# -- the meta-test: this repo honours its own contracts ---------------------
+
+def test_src_repro_is_lint_clean():
+    violations = lint_paths([SRC_REPRO])
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+
+    assert lint_main([str(clean)]) == 0
+    assert lint_main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "RPL001" in out
+    assert lint_main([str(dirty), "--select", "RPL004"]) == 0
+    assert lint_main([str(dirty), "--select", "NOPE"]) == 2
+
+
+def test_cli_json_format(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert lint_main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["violations"][0]["code"] == "RPL001"
+    assert payload["violations"][0]["line"] == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES_BY_CODE:
+        assert code in out
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", SRC_REPRO]) == 0
+    assert "clean" in capsys.readouterr().out

@@ -1,0 +1,57 @@
+"""Engine.run's finally block must survive a zero-worker cluster.
+
+A degenerate spec can leave ``cluster.num_workers == 0``; the peak-memory
+aggregation in the ``finally`` block used to call ``max()`` over an empty
+generator and raise ValueError, masking the run's real outcome."""
+
+import numpy as np
+
+import repro.engines.base as base_mod
+from repro.cluster import Cluster, ClusterSpec
+from repro.workloads.base import Workload, SuperstepStats, WorkloadState
+
+
+class _NullWorkload(Workload):
+    name = "null"
+
+    def init_state(self, graph):
+        return WorkloadState(values=np.zeros(1), active=np.zeros(1, dtype=bool))
+
+    def superstep(self, graph, state):
+        state.done = True
+        return SuperstepStats(
+            iteration=1, active_vertices=0, messages=0, updates=0, converged=True
+        )
+
+
+class _NullEngine(base_mod.Engine):
+    key = "NULL"
+    display_name = "Null"
+    language = "Python"
+
+    def _load(self, dataset, workload, cluster, result):
+        pass
+
+    def _execute(self, dataset, workload, cluster, result, scale):
+        return workload.init_state(None)
+
+    def _save(self, dataset, workload, cluster, result, state):
+        pass
+
+
+class _FakeDataset:
+    name = "fake"
+
+
+def test_run_finishes_with_zero_workers(monkeypatch):
+    spec = ClusterSpec(num_machines=2)
+
+    def degenerate_cluster(spec, num_workers=None):
+        cluster = Cluster(spec, num_workers=1)
+        cluster.num_workers = 0
+        return cluster
+
+    monkeypatch.setattr(base_mod, "Cluster", degenerate_cluster)
+    result = _NullEngine().run(_FakeDataset(), _NullWorkload(), spec)
+    assert result.ok
+    assert result.peak_memory_bytes == 0.0
