@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, Union
 
 from ..cluster import FailureKind
 from ..engines.base import RunResult
@@ -37,7 +37,7 @@ def result_to_record(result: RunResult) -> dict:
         "peak_memory_bytes": result.peak_memory_bytes,
         "total_memory_bytes": result.total_memory_bytes,
         "per_iteration_time": result.per_iteration_time,
-        "extras": result.extras,
+        "extras": dict(result.extras),
     }
 
 

@@ -8,6 +8,7 @@ Subcommands mirror the study's workflow::
     repro cost                          # Table 9 (the COST experiment)
     repro weak BV pagerank twitter      # the weak-scaling extension
     repro report runs.jsonl -o out.md   # Markdown report from a log
+    repro trace trace.jsonl --summary   # inspect a run journal
     repro lint src/                     # enforce the model contracts (RPLxxx)
 
 Installed as the ``repro`` console script; also runnable via
@@ -22,7 +23,7 @@ from typing import List, Optional
 
 from .analysis import render_grid, render_table, write_log
 from .analysis.report import grid_report
-from .cluster import CLUSTER_SIZES, ClusterSpec
+from .cluster import CLUSTER_SIZES
 from .core import cost_experiment, paper_grid, run_cell
 from .core.weak_scaling import weak_efficiency, weak_scaling_experiment
 from .datasets import DATASET_NAMES, load_dataset
@@ -54,6 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset", choices=DATASET_NAMES)
     p.add_argument("-m", "--machines", type=int, default=16)
     p.add_argument("--size", default="small")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the run's journal (JSONL) here")
 
     p = sub.add_parser("grid", help="run one result grid (Figures 6-9)")
     p.add_argument("workload", choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
@@ -61,6 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machines", nargs="+", type=int, default=list(CLUSTER_SIZES))
     p.add_argument("--size", default="small")
     p.add_argument("--log", help="append results to this JSONL file")
+    p.add_argument("--trace", metavar="DIR",
+                   help="write one journal per cell into this directory")
 
     p = sub.add_parser("cost", help="the COST experiment (Table 9)")
     p.add_argument("--datasets", nargs="+", default=["twitter", "uk0705", "wrn"])
@@ -77,6 +82,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="render a Markdown report from a log")
     p.add_argument("log", help="JSONL file written by 'repro grid --log'")
     p.add_argument("-o", "--output", help="write the report here (default stdout)")
+
+    p = sub.add_parser(
+        "trace", help="inspect or convert a run journal (JSONL)"
+    )
+    p.add_argument("journal", help="journal file written by 'repro run --trace'")
+    p.add_argument("--chrome", metavar="FILE",
+                   help="export Chrome trace_event JSON (Perfetto-loadable)")
+    p.add_argument("--csv", metavar="FILE",
+                   help="export the per-superstep series as CSV")
+    p.add_argument("--summary", action="store_true",
+                   help="print the phase timeline and hottest spans "
+                        "(default when no export is requested)")
+    p.add_argument("--top", type=int, default=5,
+                   help="how many span groups the summary ranks (default 5)")
 
     p = sub.add_parser(
         "lint", help="static analysis of the model contracts (RPL001-RPL008)"
@@ -109,7 +128,18 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _trace_filename(result) -> str:
+    """A safe per-cell journal filename (system keys hold ``*``/``+``)."""
+    import re
+
+    stem = (f"{result.system}_{result.workload}_{result.dataset}"
+            f"_{result.cluster_size}")
+    return re.sub(r"[^A-Za-z0-9_.+-]", "-", stem) + ".jsonl"
+
+
 def _cmd_run(args) -> int:
+    from .obs import one_line_summary
+
     dataset = load_dataset(args.dataset, args.size)
     result = run_cell(args.system, args.workload, dataset, args.machines)
     print(render_table([{
@@ -124,6 +154,10 @@ def _cmd_run(args) -> int:
         "iterations": result.iterations,
         "cell": result.cell(),
     }]))
+    print(one_line_summary(result))
+    if args.trace and result.observation is not None:
+        lines = result.observation.journal().write(args.trace)
+        print(f"journal: {lines} events written to {args.trace}")
     if not result.ok:
         print(f"failure: {result.failure_detail}")
     return 0 if result.ok else 1
@@ -141,6 +175,26 @@ def _cmd_grid(args) -> int:
         systems_for_workload(args.workload),
         title=f"{args.workload} results (total response seconds)",
     ))
+    completed = grid.completed()
+    if completed:
+        from .obs import one_line_summary
+
+        slowest = max(completed, key=lambda r: r.total_time)
+        print(f"\nslowest cell {slowest.system} {slowest.workload}/"
+              f"{slowest.dataset}@{slowest.cluster_size} — "
+              f"{one_line_summary(slowest)}")
+    if args.trace:
+        from pathlib import Path
+
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for result in grid.cells.values():
+            if result.observation is None:
+                continue
+            result.observation.journal().write(trace_dir / _trace_filename(result))
+            written += 1
+        print(f"{written} journals written to {trace_dir}/")
     if args.log:
         count = write_log(grid.cells.values(), args.log)
         print(f"\n{count} runs appended to {args.log}")
@@ -215,6 +269,30 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .obs import (Journal, JournalError, render_summary, write_chrome,
+                      write_superstep_csv)
+
+    try:
+        journal = Journal.read(args.journal)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    exported = False
+    if args.chrome:
+        count = write_chrome(journal, args.chrome)
+        print(f"chrome trace: {count} events written to {args.chrome} "
+              f"(load in Perfetto or chrome://tracing)")
+        exported = True
+    if args.csv:
+        rows = write_superstep_csv(journal, args.csv)
+        print(f"superstep csv: {rows} rows written to {args.csv}")
+        exported = True
+    if args.summary or not exported:
+        print(render_summary(journal, top=args.top))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .lint.cli import run_lint
 
@@ -234,6 +312,7 @@ _COMMANDS = {
     "weak": _cmd_weak,
     "findings": _cmd_findings,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 
@@ -241,7 +320,12 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into head/less that exited early; not an error
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..obs import MetricsRegistry, RunObservation, Tracer
 from .failures import SimulatedTimeout
 from .hdfs import HdfsModel
 from .memory import MemoryAccountant
@@ -28,9 +29,20 @@ class Cluster:
     ``num_workers`` defaults to ``spec.num_workers`` (all machines but
     the master). MPI-based engines (GraphLab, Blogel) run ranks on every
     machine including the master and pass ``spec.num_machines``.
+
+    ``obs`` threads a :class:`~repro.obs.RunObservation` through the
+    fabric: every shuffle, compute step, barrier, and I/O call records a
+    simulated-clock span and its byte counters, so run journals show the
+    cluster-level story under each engine's supersteps. A fresh bundle
+    is created when the caller does not pass one.
     """
 
-    def __init__(self, spec: ClusterSpec, num_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        num_workers: Optional[int] = None,
+        obs: Optional[RunObservation] = None,
+    ) -> None:
         self.spec = spec
         self.num_workers = num_workers if num_workers is not None else spec.num_workers
         if not 1 <= self.num_workers <= spec.num_machines:
@@ -38,10 +50,22 @@ class Cluster:
                 f"num_workers must be in [1, {spec.num_machines}], got {self.num_workers}"
             )
         self.clock = SimClock()
+        self.obs = obs if obs is not None else RunObservation()
+        self.obs.tracer.bind(lambda: self.clock.now)
         self.memory = MemoryAccountant(self.num_workers, spec.machine)
         self.network = NetworkModel(self.num_workers, spec.machine)
         self.hdfs = HdfsModel(self.num_workers, spec.machine)
         self.tracker = ResourceTracker(self.num_workers)
+
+    @property
+    def tracer(self) -> Tracer:
+        """The run's span tracer (bound to this cluster's clock)."""
+        return self.obs.tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics registry."""
+        return self.obs.metrics
 
     # -- time -------------------------------------------------------------
 
@@ -78,16 +102,18 @@ class Cluster:
         if len(work_seconds_per_machine) == 0:
             return 0.0
         step = max(work_seconds_per_machine) + iowait_seconds
-        for m, busy in enumerate(work_seconds_per_machine):
-            self.tracker.record_cpu(
-                time=self.now + step,
-                machine=m,
-                user=busy * (1.0 - system_fraction),
-                system=busy * system_fraction,
-                iowait=iowait_seconds,
-                idle=max(0.0, step - busy - iowait_seconds),
-            )
-        self.advance(step)
+        with self.tracer.span("compute", cat="cluster", seconds=step,
+                              iowait_seconds=iowait_seconds):
+            for m, busy in enumerate(work_seconds_per_machine):
+                self.tracker.record_cpu(
+                    time=self.now + step,
+                    machine=m,
+                    user=busy * (1.0 - system_fraction),
+                    system=busy * system_fraction,
+                    iowait=iowait_seconds,
+                    idle=max(0.0, step - busy - iowait_seconds),
+                )
+            self.advance(step)
         return step
 
     def uniform_compute(
@@ -122,30 +148,36 @@ class Cluster:
                                       local_fraction=local_fraction)
         wire = total_bytes * (1.0 - (local_fraction if local_fraction is not None
                                      else 1.0 / max(1, self.num_workers)))
-        self.tracker.record_network(sent=wire, received=wire)
-        self.advance(t)
+        with self.tracer.span("shuffle", cat="cluster", bytes=total_bytes,
+                              wire_bytes=wire):
+            self.metrics.counter("bytes_shuffled").inc(total_bytes)
+            self.tracker.record_network(sent=wire, received=wire)
+            self.advance(t)
         return t
 
     def gather_to_master(self, nbytes_per_machine: float) -> float:
         """Workers send to the master (Voronoi aggregation, counters)."""
         t = self.network.gather_time(nbytes_per_machine)
         total = nbytes_per_machine * (self.num_workers - 1)
-        self.tracker.record_network(sent=total, received=total)
-        self.advance(t)
+        with self.tracer.span("gather", cat="cluster", bytes=total):
+            self.tracker.record_network(sent=total, received=total)
+            self.advance(t)
         return t
 
     def broadcast(self, nbytes: float) -> float:
         """Master sends to all workers."""
         t = self.network.broadcast_time(nbytes)
         total = nbytes * (self.num_workers - 1)
-        self.tracker.record_network(sent=total, received=total)
-        self.advance(t)
+        with self.tracer.span("broadcast", cat="cluster", bytes=total):
+            self.tracker.record_network(sent=total, received=total)
+            self.advance(t)
         return t
 
     def barrier(self) -> float:
         """BSP synchronization barrier."""
         t = self.network.barrier_time()
-        self.advance(t)
+        with self.tracer.span("barrier", cat="cluster"):
+            self.advance(t)
         return t
 
     # -- storage ----------------------------------------------------------------
@@ -156,8 +188,9 @@ class Cluster:
             self.num_workers * self.spec.machine.cores
         )
         t = self.hdfs.read_time(nbytes, threads)
-        self.tracker.record_disk(read=nbytes)
-        self.advance(t)
+        with self.tracer.span("hdfs_read", cat="cluster", bytes=nbytes):
+            self.tracker.record_disk(read=nbytes)
+            self.advance(t)
         return t
 
     def hdfs_write(self, nbytes: float, writer_threads: Optional[int] = None) -> float:
@@ -166,8 +199,9 @@ class Cluster:
             self.num_workers * self.spec.machine.cores
         )
         t = self.hdfs.write_time(nbytes, threads)
-        self.tracker.record_disk(written=nbytes * self.hdfs.replication)
-        self.advance(t)
+        with self.tracer.span("hdfs_write", cat="cluster", bytes=nbytes):
+            self.tracker.record_disk(written=nbytes * self.hdfs.replication)
+            self.advance(t)
         return t
 
     def local_disk_io(self, nbytes: float, write: bool = False,
@@ -179,10 +213,12 @@ class Cluster:
         bw = machine.disk_write_bps if write else machine.disk_read_bps
         parallel = threads or (self.num_workers * machine.cores)
         t = nbytes / (min(parallel, self.num_workers * machine.cores) * bw)
-        self.tracker.record_disk(
-            read=0.0 if write else nbytes, written=nbytes if write else 0.0
-        )
-        self.advance(t)
+        name = "disk_write" if write else "disk_read"
+        with self.tracer.span(name, cat="cluster", bytes=nbytes):
+            self.tracker.record_disk(
+                read=0.0 if write else nbytes, written=nbytes if write else 0.0
+            )
+            self.advance(t)
         return t
 
     # -- memory ------------------------------------------------------------------

@@ -10,7 +10,7 @@ tracker keeps per-machine time series plus aggregate counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 __all__ = ["SimClock", "CpuSample", "MemorySample", "ResourceTracker"]
@@ -63,6 +63,12 @@ class ResourceTracker:
         self.num_machines = num_machines
         self.cpu_samples: List[CpuSample] = []
         self.memory_samples: List[MemorySample] = []
+        # Running per-machine aggregates, maintained by record_memory so
+        # the peak/series queries are O(1)/O(series) instead of scanning
+        # every sample — grid runs query them per cell, which used to
+        # make the harness quadratic in sample count.
+        self._memory_peaks: Dict[int, int] = {}
+        self._memory_series: Dict[int, List[Tuple[float, int]]] = {}
         self.network_bytes_sent: float = 0.0
         self.network_bytes_received: float = 0.0
         self.disk_bytes_read: float = 0.0
@@ -86,10 +92,13 @@ class ResourceTracker:
         )
 
     def record_memory(self, time: float, machine: int, used_bytes: int) -> None:
-        """Record a resident-memory sample."""
+        """Record a resident-memory sample, updating the running peaks."""
         self.memory_samples.append(
             MemorySample(time=time, machine=machine, used_bytes=used_bytes)
         )
+        if used_bytes > self._memory_peaks.get(machine, 0):
+            self._memory_peaks[machine] = used_bytes
+        self._memory_series.setdefault(machine, []).append((time, used_bytes))
 
     def record_network(self, sent: float, received: float) -> None:
         """Add to the NIC byte counters."""
@@ -104,25 +113,16 @@ class ResourceTracker:
     # -- queries (what the figures plot) ----------------------------------
 
     def peak_memory_bytes(self) -> int:
-        """Largest single-machine resident memory seen."""
-        if not self.memory_samples:
-            return 0
-        return max(s.used_bytes for s in self.memory_samples)
+        """Largest single-machine resident memory seen (O(machines))."""
+        return max(self._memory_peaks.values(), default=0)
 
     def total_memory_bytes(self) -> int:
         """Sum of every machine's peak memory (Table 8's metric)."""
-        peaks: Dict[int, int] = {}
-        for s in self.memory_samples:
-            peaks[s.machine] = max(peaks.get(s.machine, 0), s.used_bytes)
-        return sum(peaks.values())
+        return sum(self._memory_peaks.values())
 
     def memory_series(self, machine: int) -> List[Tuple[float, int]]:
         """(time, bytes) series for one machine (Figure 10's lines)."""
-        return [
-            (s.time, s.used_bytes)
-            for s in self.memory_samples
-            if s.machine == machine
-        ]
+        return list(self._memory_series.get(machine, ()))
 
     def cpu_totals(self) -> Dict[str, float]:
         """Aggregate CPU seconds by category across the cluster."""

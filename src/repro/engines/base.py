@@ -30,6 +30,7 @@ import numpy as np
 from ..cluster import Cluster, ClusterSpec, FailureKind, SimulatedFailure
 from ..datasets.registry import Dataset
 from ..graph.stats import estimate_diameter
+from ..obs import ExtrasView, MetricsRegistry, RunObservation
 from ..graph.structures import Graph
 from ..workloads.base import Workload, WorkloadKind, WorkloadState
 from ..workloads.pagerank import INITIAL_RANK, PageRank
@@ -52,7 +53,22 @@ EXTENSION_WORKLOADS = ("cdlp",)
 
 @dataclass
 class RunResult:
-    """One cell of the paper's result grids."""
+    """One cell of the paper's result grids.
+
+    Quantities live in a typed :class:`~repro.obs.MetricsRegistry`
+    shared with the run's cluster; ``extras`` stays available as a
+    backward-compatible mutable-mapping view over that registry (a dict
+    passed to the constructor — e.g. by the JSONL log reader — is
+    folded into the registry on init).
+
+    ``per_iteration_time`` is the Table 6 derivation: simulated seconds
+    per *paper* superstep. The denominator is ``iterations * scale``
+    (observed supersteps times the diameter ratio each one stands in
+    for); the numerator is the superstep loop's time only — the same
+    interval the journal's superstep spans cover — so engines with
+    pre-loop execute work (Blogel-B's block PageRank step 1) don't
+    smear it across their iterations.
+    """
 
     system: str                   # the figure abbreviation, e.g. "BV", "GL-S-R-I"
     workload: str
@@ -71,6 +87,20 @@ class RunResult:
     total_memory_bytes: float = 0.0
     per_iteration_time: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
+    metrics: MetricsRegistry = field(
+        default_factory=MetricsRegistry, repr=False, compare=False
+    )
+    #: the run's tracer+metrics bundle, when the engine produced one
+    observation: Optional[RunObservation] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.extras, ExtrasView):
+            seed = self.extras
+            self.extras = ExtrasView(self.metrics)  # type: ignore[assignment]
+            for key, value in seed.items():
+                self.extras[key] = value
 
     @property
     def ok(self) -> bool:
@@ -198,6 +228,10 @@ class Engine(abc.ABC):
     uses_all_machines: bool = False
     #: dataset text format the system ingests (§4.3)
     input_format: str = "adj"
+    #: computation model tag used as the category of superstep spans, so
+    #: traces show each paradigm's characteristic shape ("bsp", "gas",
+    #: "mapreduce", "block-centric", "dataflow", ...)
+    trace_model: str = "bsp"
 
     # -- template ---------------------------------------------------------
 
@@ -210,38 +244,64 @@ class Engine(abc.ABC):
         dataset: Dataset,
         workload: Workload,
         cluster_spec: ClusterSpec,
+        obs: Optional[RunObservation] = None,
     ) -> RunResult:
-        """Execute one experiment cell; failures become result codes."""
-        cluster = Cluster(cluster_spec, num_workers=self.workers_for(cluster_spec))
+        """Execute one experiment cell; failures become result codes.
+
+        The run's tracer records run → phase spans here (engines add
+        superstep and cluster-op spans below); everything lands in one
+        :class:`~repro.obs.RunObservation` shared by the cluster and the
+        result, journalable afterwards via ``result.observation``.
+        """
+        if obs is None:
+            obs = RunObservation()
+        cluster = Cluster(
+            cluster_spec, num_workers=self.workers_for(cluster_spec), obs=obs
+        )
         result = RunResult(
             system=self.key,
             workload=workload.name,
             dataset=dataset.name,
             cluster_size=cluster_spec.num_machines,
+            metrics=obs.metrics,
+            observation=obs,
         )
         scale = iteration_scale(dataset, workload)
+        tracer = obs.tracer
         phase_start = 0.0
         phase = "load"
+        run_span = tracer.start(
+            "run", cat="run", system=self.key, workload=workload.name,
+            dataset=dataset.name, machines=cluster_spec.num_machines,
+            model=self.trace_model,
+        )
         try:
-            self._load(dataset, workload, cluster, result)
+            with tracer.span("load", cat="phase"):
+                self._load(dataset, workload, cluster, result)
             result.load_time = cluster.now - phase_start
 
             phase, phase_start = "execute", cluster.now
-            state = self._execute(dataset, workload, cluster, result, scale)
+            with tracer.span("execute", cat="phase"):
+                state = self._execute(dataset, workload, cluster, result, scale)
             result.execute_time = cluster.now - phase_start
             result.answer = workload.answer(state)
             result.iterations = state.iteration
-            if state.iteration:
+            if state.iteration and not result.per_iteration_time:
+                # Fallback for engines without a superstep loop: the
+                # loop-based engines already set the span-accurate value
+                # (see RunResult's docstring for the denominator).
                 result.per_iteration_time = result.execute_time / (
                     state.iteration * scale
                 )
 
             phase, phase_start = "save", cluster.now
-            self._save(dataset, workload, cluster, result, state)
+            with tracer.span("save", cat="phase"):
+                self._save(dataset, workload, cluster, result, state)
             result.save_time = cluster.now - phase_start
 
             phase, phase_start = "overhead", cluster.now
-            self._overhead(dataset, cluster, result)
+            with tracer.span("overhead", cat="phase"):
+                self._overhead(dataset, cluster, result)
             result.overhead_time += cluster.now - phase_start
         except SimulatedFailure as failure:
             result.failure = failure.kind
@@ -271,6 +331,23 @@ class Engine(abc.ABC):
             util = cluster.tracker.max_cpu_utilization()
             result.extras["max_user_utilization"] = util["user"]
             result.extras["max_iowait_utilization"] = util["iowait"]
+            tracer.end(
+                run_span,
+                status="ok" if result.ok else str(result.failure),
+                total_time=result.total_time,
+                iterations=result.iterations,
+            )
+            obs.meta = {
+                "system": result.system,
+                "workload": result.workload,
+                "dataset": result.dataset,
+                "machines": result.cluster_size,
+                "status": "ok" if result.ok else str(result.failure),
+                "failure_detail": result.failure_detail,
+                "iterations": result.iterations,
+                "total_time": result.total_time,
+                "model": self.trace_model,
+            }
         return result
 
     # -- phases implemented per engine -------------------------------------

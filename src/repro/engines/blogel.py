@@ -31,14 +31,14 @@ from typing import Tuple
 
 import numpy as np
 
-from ..cluster import GB, Cluster, MPIOverflowError
+from ..cluster import GB, MPIOverflowError
 from ..datasets.registry import Dataset
 from ..graph.structures import Graph
 from ..partitioning.voronoi import INT32_MAX, BlockPartition
 from ..workloads.base import WorkloadState
 from ..workloads.pagerank import DAMPING, PageRank
 from ..workloads.sssp import KHop
-from .base import Engine, RunResult
+from .base import Engine
 from .bsp import BspExecutionMixin
 from .common import COSTS, cached_block_partition, cached_vertex_partition
 
@@ -51,6 +51,7 @@ class BlogelVEngine(BspExecutionMixin, Engine):
     key = "BV"
     display_name = "Blogel-V"
     language = "C++"
+    trace_model = "bsp"           # vertex-centric supersteps over MPI
     input_format = "adj-long"
     uses_all_machines = True
     features = MappingProxyType({
@@ -205,6 +206,7 @@ class BlogelBEngine(BspExecutionMixin, Engine):
     key = "BB"
     display_name = "Blogel-B"
     language = "C++"
+    trace_model = "block-centric"  # serial-in-block + cross-block rounds
     input_format = "adj-long"
     uses_all_machines = True
     features = MappingProxyType({
@@ -399,26 +401,62 @@ class BlogelBEngine(BspExecutionMixin, Engine):
         self.scale_messages = scale ** 0.5
         pending = state.active.copy()
         outer_rounds = 0
+        metrics = cluster.metrics
         while True:
-            # Local phase: run to an in-block fixpoint.
-            state.active = pending.copy()
-            touched = pending.copy()
-            state.done = False
-            while True:
-                stats = workload.superstep(intra, state)
-                touched |= state.active
-                self._charge_local(dataset, cluster, bp, stats.messages,
-                                   stats.active_vertices)
-                if stats.updates == 0:
-                    break
-            # Global phase: one cross-block exchange from everything that
-            # changed, charged `scale` times (block-graph hops scale with
-            # the dataset's diameter like vertex hops do).
-            state.active = touched
-            state.done = False
-            stats = workload.superstep(cross, state)
-            self._charge_global(dataset, cluster, bp, stats.messages)
-            outer_rounds += 1
+            # One outer round is this model's superstep: an in-block
+            # fixpoint then one cross-block exchange — traced as a
+            # superstep span with block-local/block-global children so
+            # the block-centric shape is visible next to plain BSP.
+            round_start = cluster.now
+            shuffled_before = metrics.counter("bytes_shuffled").value
+            with cluster.tracer.span(
+                "superstep", cat=self.trace_model, iteration=outer_rounds + 1,
+            ) as round_span:
+                # Local phase: run to an in-block fixpoint.
+                state.active = pending.copy()
+                touched = pending.copy()
+                state.done = False
+                local_steps = 0
+                round_messages = 0
+                with cluster.tracer.span("block-local", cat=self.trace_model):
+                    while True:
+                        stats = workload.superstep(intra, state)
+                        touched |= state.active
+                        local_steps += 1
+                        round_messages += int(stats.messages)
+                        self._charge_local(dataset, cluster, bp, stats.messages,
+                                           stats.active_vertices)
+                        if stats.updates == 0:
+                            break
+                # Global phase: one cross-block exchange from everything
+                # that changed, charged `scale` times (block-graph hops
+                # scale with the dataset's diameter like vertex hops do).
+                state.active = touched
+                state.done = False
+                with cluster.tracer.span("block-global", cat=self.trace_model):
+                    stats = workload.superstep(cross, state)
+                    self._charge_global(dataset, cluster, bp, stats.messages)
+                outer_rounds += 1
+                round_messages += int(stats.messages)
+                round_span.attrs.update({
+                    "active_vertices": int(touched.sum()),
+                    "messages": round_messages,
+                    "updates": int(stats.updates),
+                    "local_steps": local_steps,
+                    "bytes_shuffled": (
+                        metrics.counter("bytes_shuffled").value - shuffled_before
+                    ),
+                    "peak_memory_bytes": max(
+                        (cluster.memory.peak_bytes(m)
+                         for m in range(cluster.num_workers)),
+                        default=0.0,
+                    ),
+                })
+                metrics.counter("supersteps").inc()
+                metrics.counter("messages_sent").inc(round_messages)
+                metrics.histogram("superstep_seconds").observe(
+                    cluster.now - round_start
+                )
             pending = state.active.copy()
             if stats.updates == 0:
                 break

@@ -19,6 +19,7 @@ from ..datasets.registry import Dataset
 from ..graph.structures import Graph
 from ..workloads.base import SuperstepStats, Workload, WorkloadState
 from .base import RunResult
+from .common import observed_superstep
 
 __all__ = ["BspExecutionMixin"]
 
@@ -83,16 +84,26 @@ class BspExecutionMixin(abc.ABC):
                     )
                 superstep_start = cluster.now
                 stats = workload.superstep(graph, state)
-                try:
-                    self.charge_superstep(dataset, workload, cluster, stats, first)
-                finally:
-                    # progress survives failures: Table 6 reports
-                    # per-iteration times for runs that later TO/OOMed
-                    result.iterations = state.iteration
-                    if cluster.now > loop_start:
-                        result.per_iteration_time = (
-                            (cluster.now - loop_start) / (state.iteration * scale)
+                with observed_superstep(
+                    cluster, stats, model=getattr(self, "trace_model", "bsp")
+                ):
+                    try:
+                        self.charge_superstep(
+                            dataset, workload, cluster, stats, first
                         )
+                    finally:
+                        # progress survives failures: Table 6 reports
+                        # per-iteration times for runs that later TO/OOMed.
+                        # Numerator is loop time only (the superstep spans'
+                        # interval); denominator is paper supersteps —
+                        # observed iterations x the diameter scale each
+                        # observed superstep stands in for.
+                        result.iterations = state.iteration
+                        if cluster.now > loop_start:
+                            result.per_iteration_time = (
+                                (cluster.now - loop_start)
+                                / (state.iteration * scale)
+                            )
                 first = False
                 last_checkpoint = self._fault_round(
                     dataset, workload, cluster, result, state,

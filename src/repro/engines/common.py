@@ -14,9 +14,14 @@ partitions are memoized per (dataset, scheme, machine count).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from functools import lru_cache
+from typing import Iterator
 
+from ..cluster import Cluster
 from ..datasets.registry import load_dataset
+from ..obs import Span
+from ..workloads.base import SuperstepStats
 from ..partitioning.edge_cut import VertexPartition, random_vertex_partition
 from ..partitioning.vertex_cut import (
     EdgePartition,
@@ -28,10 +33,56 @@ from ..partitioning.voronoi import BlockPartition, voronoi_partition
 __all__ = [
     "CostConstants",
     "COSTS",
+    "observed_superstep",
     "cached_vertex_partition",
     "cached_edge_partition",
     "cached_block_partition",
 ]
+
+
+@contextmanager
+def observed_superstep(
+    cluster: Cluster,
+    stats: SuperstepStats,
+    model: str = "bsp",
+) -> Iterator[Span]:
+    """Span + metrics for one observed superstep, shared by every engine.
+
+    Wrap the engine's charging code in this: the span (category =
+    the engine's ``trace_model``, so BSP/GAS/MapReduce/block-centric/
+    dataflow traces each show their shape) carries the superstep's
+    workload stats, its shuffle-byte delta, and the cluster-wide memory
+    peak; the registry accumulates ``messages_sent``, ``supersteps``,
+    and the per-superstep histograms. A simulated failure mid-superstep
+    closes the span with an ``error`` attr and skips the metrics —
+    half-charged supersteps never pollute the series.
+    """
+    metrics = cluster.metrics
+    shuffled_before = metrics.counter("bytes_shuffled").value
+    start = cluster.now
+    # plain-int casts: workload stats may carry numpy scalars, which
+    # would break the journal's JSON serialization
+    with cluster.tracer.span(
+        "superstep", cat=model,
+        iteration=int(stats.iteration),
+        active_vertices=int(stats.active_vertices),
+        messages=int(stats.messages),
+        updates=int(stats.updates),
+    ) as span:
+        yield span
+        peak = max(
+            (cluster.memory.peak_bytes(m) for m in range(cluster.num_workers)),
+            default=0.0,
+        )
+        span.attrs["bytes_shuffled"] = (
+            metrics.counter("bytes_shuffled").value - shuffled_before
+        )
+        span.attrs["peak_memory_bytes"] = peak
+        metrics.counter("supersteps").inc()
+        metrics.counter("messages_sent").inc(int(stats.messages))
+        metrics.histogram("active_vertices").observe(float(stats.active_vertices))
+        metrics.histogram("superstep_seconds").observe(cluster.now - start)
+        metrics.histogram("superstep_memory_bytes").observe(peak)
 
 
 class CostConstants:

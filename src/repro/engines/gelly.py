@@ -43,6 +43,7 @@ class GellyEngine(BspExecutionMixin, Engine):
     key = "FG"
     display_name = "Flink Gelly"
     language = "Java/Scala"
+    trace_model = "dataflow"      # BSP iterations lowered onto Flink dataflow
     input_format = "edge"
     uses_all_machines = False   # one machine hosts the JobManager
     features = MappingProxyType({

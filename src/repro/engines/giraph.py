@@ -37,6 +37,7 @@ class GiraphEngine(BspExecutionMixin, Engine):
     display_name = "Giraph"
     pagerank_stop = "iterations"   # Giraph runs a fixed iteration count (§5.5)
     language = "Java"
+    trace_model = "bsp"            # vertex-centric supersteps + global barrier
     input_format = "adj"
     uses_all_machines = False   # runs as Hadoop mappers; master excluded
     features = MappingProxyType({

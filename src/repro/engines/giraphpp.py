@@ -34,6 +34,7 @@ class GiraphPlusPlusEngine(BlogelBEngine):
     key = "G++"
     display_name = "Giraph++"
     language = "Java"
+    trace_model = "block-centric"  # Blogel-B's shape at JVM prices
     input_format = "adj"
     uses_all_machines = False    # Hadoop mappers; master excluded
     features = MappingProxyType({

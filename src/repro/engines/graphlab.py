@@ -45,6 +45,7 @@ class GraphLabEngine(BspExecutionMixin, Engine):
 
     display_name = "GraphLab"
     language = "C++"
+    trace_model = "gas"           # gather-apply-scatter over a vertex cut
     input_format = "adj"
     uses_all_machines = True    # MPI rank on every machine
     features = MappingProxyType({

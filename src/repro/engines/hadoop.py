@@ -40,6 +40,7 @@ class HadoopEngine(BspExecutionMixin, Engine):
     input_format = "adj"
     uses_all_machines = False
     fault_tolerance = "reexecution"
+    trace_model = "mapreduce"     # each superstep is a full MR job
     features = MappingProxyType({
         "memory_disk": "Disk",
         "paradigm": "BSP (MapReduce)",

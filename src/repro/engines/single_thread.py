@@ -24,10 +24,10 @@ from typing import Tuple
 
 import numpy as np
 
-from ..cluster import ClusterSpec, COST_MACHINE, GB
+from ..cluster import ClusterSpec, COST_MACHINE
 from ..datasets.registry import Dataset
 from ..graph.structures import Graph
-from ..workloads.base import Workload, WorkloadState
+from ..workloads.base import Workload
 from ..workloads.pagerank import DAMPING, PageRank
 from ..workloads.sssp import KHop, SSSP
 from ..workloads.wcc import WCC
@@ -154,6 +154,7 @@ class SingleThreadEngine(Engine):
     display_name = "Single Thread (GAP)"
     language = "C++"
     input_format = "edge"
+    trace_model = "single-thread"  # one kernel span, no supersteps
     uses_all_machines = False
     features = MappingProxyType({
         "memory_disk": "Memory",
@@ -175,10 +176,11 @@ class SingleThreadEngine(Engine):
         return 1
 
     def run(self, dataset: Dataset, workload: Workload,
-            cluster_spec: ClusterSpec = None) -> RunResult:   # type: ignore[override]
+            cluster_spec: ClusterSpec = None,
+            obs=None) -> RunResult:   # type: ignore[override]
         """COST runs ignore the cluster: always the one big machine."""
         spec = ClusterSpec(num_machines=2, machine=COST_MACHINE)
-        return super().run(dataset, workload, spec)
+        return super().run(dataset, workload, spec, obs=obs)
 
     def _load(self, dataset, workload, cluster, result):
         """Read and parse the text dataset on one thread."""
@@ -218,11 +220,15 @@ class SingleThreadEngine(Engine):
         scaled_ops = dataset.scaled_edges(ops)
         # traversal op counts also scale with the diameter ratio only in
         # per-level overhead, which is negligible single-threaded.
-        cluster.uniform_compute(
-            scaled_ops * self.op_cost
-            + dataset.profile.num_vertices * self.vertex_op_cost,
-            cores_per_machine=1,
-        )
+        with cluster.tracer.span(
+            "kernel", cat=self.trace_model,
+            algorithm=workload.name, ops=int(ops),
+        ):
+            cluster.uniform_compute(
+                scaled_ops * self.op_cost
+                + dataset.profile.num_vertices * self.vertex_op_cost,
+                cores_per_machine=1,
+            )
         result.extras["ops"] = float(ops)
         return state
 

@@ -78,6 +78,7 @@ class GraphXEngine(BspExecutionMixin, Engine):
     """GraphX on Spark standalone (``S``)."""
 
     key = "S"
+    trace_model = "dataflow"      # Pregel-on-RDDs: join/aggregate stages
     display_name = "GraphX"
     language = "Scala"
     input_format = "edge"

@@ -33,6 +33,7 @@ class VerticaEngine(BspExecutionMixin, Engine):
     display_name = "Vertica"
     language = "SQL"
     input_format = "edge"
+    trace_model = "relational"    # join + aggregate + temp-table swap
     uses_all_machines = True    # shared-nothing database on every node
     fault_tolerance = "none"
     features = MappingProxyType({

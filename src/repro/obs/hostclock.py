@@ -1,0 +1,46 @@
+"""The one sanctioned door to the host's wall clock.
+
+Everything the simulation reports is simulated time — RPL001 bans the
+wall-clock API across the source tree so a stray ``time.time()`` can
+never leak host seconds into paper-scale results. But profiling the
+*simulator itself* (how long does a grid take to run, which engine's
+cost model is the Python hot spot) legitimately needs real time. That
+capability lives here, and only here: RPL001's allowlist names exactly
+this module, so any other wall-clock read still fails the lint.
+
+Host readings must never flow back into simulated quantities; they are
+for meta-level reporting (progress lines, profiling harnesses) only.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["host_now", "HostTimer"]
+
+
+def host_now() -> float:
+    """Monotonic host seconds (``time.perf_counter``): profiling only."""
+    return time.perf_counter()
+
+
+class HostTimer:
+    """Measures host seconds spent in a block of *simulator* code.
+
+    Usage::
+
+        with HostTimer() as timer:
+            grid = run_grid(spec)
+        print(f"simulated the grid in {timer.elapsed:.2f} host seconds")
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "HostTimer":
+        self.start = host_now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = host_now() - self.start

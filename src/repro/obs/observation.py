@@ -1,0 +1,43 @@
+"""The per-run observability bundle every cluster and engine shares.
+
+One :class:`RunObservation` travels through a whole experiment cell:
+``Engine.run`` creates it (or accepts a caller's), hands it to the
+:class:`~repro.cluster.Cluster` so the fabric's shuffles, computes, and
+barriers land in the same span tree, and attaches it to the
+:class:`~repro.engines.base.RunResult` so callers can journal or export
+the run afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .journal import Journal, build_journal
+from .metrics import MetricsRegistry
+from .spans import Tracer
+
+__all__ = ["RunObservation"]
+
+
+class RunObservation:
+    """Tracer + metrics registry + run metadata for one experiment cell."""
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: filled in by ``Engine.run`` when the run finishes
+        self.meta: Dict[str, object] = {}
+
+    def journal(self) -> Journal:
+        """The run's canonical event stream (meta + spans + metrics)."""
+        return build_journal(self.meta, self.tracer, self.metrics)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunObservation({len(self.tracer.spans)} spans, "
+            f"{len(self.metrics)} metrics)"
+        )

@@ -1,0 +1,151 @@
+"""Nested spans on the simulated clock.
+
+The paper's analysis is log-driven: per-second resource series on every
+machine, sliced offline into per-phase and per-iteration behaviour
+(§4.2, Figures 10–13). A :class:`Tracer` is the simulated equivalent of
+those logs' *time structure*: every run produces a tree of spans —
+run → phase → superstep → shuffle/compute/barrier — whose timestamps
+are **simulated seconds** read from the cluster clock, never the host
+clock. Recording a span therefore cannot perturb a run: the tracer only
+*reads* time that the cost models already advanced, so a traced run and
+an untraced run produce byte-identical results.
+
+Spans close strictly LIFO (a child must end before its parent); the
+tracer enforces this so exported traces are always well-nested.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = ["Attr", "Span", "SpanError", "Tracer"]
+
+#: span attribute values must be JSON scalars so journals stay portable
+Attr = Union[str, int, float, bool]
+
+
+class SpanError(RuntimeError):
+    """A span was closed out of order, twice, or never opened."""
+
+
+@dataclass
+class Span:
+    """One timed region of a run, on the simulated clock."""
+
+    id: int
+    parent: Optional[int]      # id of the enclosing span, None for the root
+    name: str                  # "run", "load", "superstep", "shuffle", ...
+    cat: str                   # grouping: "phase", "cluster", an engine model
+    start: float               # simulated seconds
+    end: Optional[float] = None
+    attrs: Dict[str, Attr] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        """True once the span has ended."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds covered; 0.0 while still open."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def __repr__(self) -> str:
+        when = f"{self.start:.3f}+{self.duration:.3f}s" if self.closed else "open"
+        return f"Span({self.name!r}, cat={self.cat!r}, {when})"
+
+
+class Tracer:
+    """Builds the span tree for one run.
+
+    The tracer starts unbound; :class:`~repro.cluster.Cluster` binds it
+    to its :class:`~repro.cluster.tracker.SimClock` on construction so
+    every timestamp is a simulated second. Span ids are sequential,
+    which keeps journals deterministic: the same seed produces the same
+    ids in the same order.
+    """
+
+    def __init__(self, now_fn: Optional[Callable[[], float]] = None) -> None:
+        self._now_fn = now_fn
+        self._stack: List[Span] = []
+        self._next_id = 1
+        #: closed spans, in close order (children before parents)
+        self.spans: List[Span] = []
+
+    def bind(self, now_fn: Callable[[], float]) -> None:
+        """Attach the simulated-clock reader the spans timestamp with."""
+        self._now_fn = now_fn
+
+    def now(self) -> float:
+        """Current simulated time; 0.0 before a clock is bound."""
+        return self._now_fn() if self._now_fn is not None else 0.0
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def start(self, name: str, cat: str = "", **attrs: Attr) -> Span:
+        """Open a span nested under the current one."""
+        parent = self._stack[-1].id if self._stack else None
+        span = Span(
+            id=self._next_id,
+            parent=parent,
+            name=name,
+            cat=cat,
+            start=self.now(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **attrs: Attr) -> Span:
+        """Close a span; it must be the innermost open one (LIFO)."""
+        if span.closed:
+            raise SpanError(f"span {span.name!r} already closed")
+        if not self._stack or self._stack[-1] is not span:
+            open_name = self._stack[-1].name if self._stack else "<none>"
+            raise SpanError(
+                f"span {span.name!r} closed out of order; innermost open "
+                f"span is {open_name!r}"
+            )
+        self._stack.pop()
+        span.attrs.update(attrs)
+        span.end = self.now()
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", **attrs: Attr) -> Iterator[Span]:
+        """Context manager form; closes the span even on failure.
+
+        A simulated failure (OOM, timeout, ...) unwinding through the
+        span records the exception type in the span's ``error`` attr, so
+        journals show exactly where a run died.
+        """
+        opened = self.start(name, cat=cat, **attrs)
+        try:
+            yield opened
+        except BaseException as exc:
+            opened.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self.end(opened)
+
+    def finished(self) -> List[Span]:
+        """Closed spans sorted by (start time, id): tree order."""
+        return sorted(self.spans, key=lambda s: (s.start, s.id))
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.spans)} closed, {len(self._stack)} open, "
+            f"t={self.now():.3f}s)"
+        )

@@ -46,8 +46,8 @@ class _FakeDataset:
 def test_run_finishes_with_zero_workers(monkeypatch):
     spec = ClusterSpec(num_machines=2)
 
-    def degenerate_cluster(spec, num_workers=None):
-        cluster = Cluster(spec, num_workers=1)
+    def degenerate_cluster(spec, num_workers=None, obs=None):
+        cluster = Cluster(spec, num_workers=1, obs=obs)
         cluster.num_workers = 0
         return cluster
 
