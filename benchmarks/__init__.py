@@ -1,0 +1,5 @@
+"""The benchmark harness: one module per reproduced table/figure.
+
+A package (not just a directory of pytest files) so the executor
+benchmark can run as ``python -m benchmarks.bench_grid``.
+"""

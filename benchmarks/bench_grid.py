@@ -1,0 +1,16 @@
+"""The grid-executor benchmark, runnable from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.bench_grid [--jobs N] [-o FILE]
+
+Times the benchmark PageRank grid through ``repro.exec`` at jobs=1
+(sequential, no cache), jobs=N cold, and jobs=N warm, and writes the
+record to ``BENCH_grid.json`` — the same entry point as
+``repro bench-grid`` (see :mod:`repro.exec.bench`).
+"""
+
+import sys
+
+from repro.exec.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,19 @@ Subcommands mirror the study's workflow::
     repro datasets                      # Table 3 for the synthetic stand-ins
     repro run BV pagerank twitter -m 16 # one experiment cell
     repro grid wcc --log runs.jsonl     # one result figure (Figs 6-9)
+    repro grid wcc --jobs 4 --resume    # same grid, parallel + resumable
+    repro bench-grid                    # time jobs=1 vs jobs=N -> BENCH_grid.json
     repro cost                          # Table 9 (the COST experiment)
     repro weak BV pagerank twitter      # the weak-scaling extension
     repro report runs.jsonl -o out.md   # Markdown report from a log
     repro trace trace.jsonl --summary   # inspect a run journal
     repro lint src/                     # enforce the model contracts (RPLxxx)
+
+Grid and run executions go through :mod:`repro.exec`: independent cells
+fan out over ``--jobs`` worker processes, finished cells land in a
+content-addressed cache (``--cache-dir``, default ``.repro-cache``;
+``--no-cache`` disables), and an interrupted grid picks up where it
+died with ``--resume``.
 
 Installed as the ``repro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -24,7 +32,7 @@ from typing import List, Optional
 from .analysis import render_grid, render_table, write_log
 from .analysis.report import grid_report
 from .cluster import CLUSTER_SIZES
-from .core import cost_experiment, paper_grid, run_cell
+from .core import cost_experiment
 from .core.weak_scaling import weak_efficiency, weak_scaling_experiment
 from .datasets import DATASET_NAMES, load_dataset
 from .engines import (ENGINE_KEYS, EXTENSION_WORKLOADS, WORKLOAD_NAMES,
@@ -32,6 +40,18 @@ from .engines import (ENGINE_KEYS, EXTENSION_WORKLOADS, WORKLOAD_NAMES,
 from .graph import compute_stats, estimate_diameter
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_exec_options(p: argparse.ArgumentParser) -> None:
+    """The executor flags ``repro run`` and ``repro grid`` share."""
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes (default: cpu count; 1 = inline)")
+    p.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                   help="result cache location (default: .repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache (always re-execute)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted run from its cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", default="small")
     p.add_argument("--trace", metavar="FILE",
                    help="write the run's journal (JSONL) here")
+    _add_exec_options(p)
 
     p = sub.add_parser("grid", help="run one result grid (Figures 6-9)")
     p.add_argument("workload", choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
@@ -65,7 +86,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", default="small")
     p.add_argument("--log", help="append results to this JSONL file")
     p.add_argument("--trace", metavar="DIR",
-                   help="write one journal per cell into this directory")
+                   help="write one journal per cell into this directory "
+                        "(plus the scheduler's own _scheduler.jsonl)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print one progress line per finished cell")
+    _add_exec_options(p)
+
+    p = sub.add_parser(
+        "bench-grid",
+        help="time the benchmark PageRank grid at jobs=1 vs jobs=N",
+    )
+    p.add_argument("--jobs", type=int, default=None,
+                   help="parallel worker count (default: cpu count, min 2)")
+    p.add_argument("-o", "--output", default="BENCH_grid.json",
+                   help="where the JSON record goes")
 
     p = sub.add_parser("cost", help="the COST experiment (Table 9)")
     p.add_argument("--datasets", nargs="+", default=["twitter", "uk0705", "wrn"])
@@ -98,7 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how many span groups the summary ranks (default 5)")
 
     p = sub.add_parser(
-        "lint", help="static analysis of the model contracts (RPL001-RPL008)"
+        "lint", help="static analysis of the model contracts (RPL001-RPL009)"
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -129,19 +163,47 @@ def _cmd_datasets(args) -> int:
 
 
 def _trace_filename(result) -> str:
-    """A safe per-cell journal filename (system keys hold ``*``/``+``)."""
+    """A collision-free, filesystem-safe per-cell journal filename.
+
+    System keys hold characters like ``*`` that need replacing, and two
+    distinct keys can sanitize to the same text (``BB*`` and ``BB-``),
+    so the name carries a short digest of the *raw* cell coordinates:
+    distinct cells can never target the same path, while the name stays
+    stable across runs (the parallel-vs-sequential byte comparison
+    depends on that). Writes themselves are atomic via
+    :meth:`repro.obs.Journal.write`.
+    """
+    import hashlib
     import re
 
     stem = (f"{result.system}_{result.workload}_{result.dataset}"
             f"_{result.cluster_size}")
-    return re.sub(r"[^A-Za-z0-9_.+-]", "-", stem) + ".jsonl"
+    digest = hashlib.sha256(stem.encode("utf-8")).hexdigest()[:8]
+    safe = re.sub(r"[^A-Za-z0-9_.+-]", "-", stem)
+    return f"{safe}.{digest}.jsonl"
+
+
+def _cli_cache(args):
+    """The executor cache requested by the shared CLI flags."""
+    return None if args.no_cache else args.cache_dir
 
 
 def _cmd_run(args) -> int:
+    from .core.runner import ExperimentSpec
+    from .exec import execute_grid
     from .obs import one_line_summary
 
-    dataset = load_dataset(args.dataset, args.size)
-    result = run_cell(args.system, args.workload, dataset, args.machines)
+    spec = ExperimentSpec(
+        systems=(args.system,),
+        workloads=(args.workload,),
+        datasets=(args.dataset,),
+        cluster_sizes=(args.machines,),
+        dataset_size=args.size,
+    )
+    execution = execute_grid(
+        spec, jobs=1, cache=_cli_cache(args), resume=args.resume
+    )
+    result = next(iter(execution.grid.cells.values()))
     print(render_table([{
         "system": result.system,
         "workload": result.workload,
@@ -155,6 +217,8 @@ def _cmd_run(args) -> int:
         "cell": result.cell(),
     }]))
     print(one_line_summary(result))
+    if execution.report.cache_hits:
+        print("cell served from the result cache (use --no-cache to re-run)")
     if args.trace and result.observation is not None:
         lines = result.observation.journal().write(args.trace)
         print(f"journal: {lines} events written to {args.trace}")
@@ -164,17 +228,30 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_grid(args) -> int:
-    grid = paper_grid(
-        args.workload,
+    from .core.runner import ExperimentSpec
+    from .exec import execute_grid, print_progress
+
+    spec = ExperimentSpec(
+        systems=systems_for_workload(args.workload),
+        workloads=(args.workload,),
         datasets=tuple(args.datasets),
         cluster_sizes=tuple(args.machines),
         dataset_size=args.size,
     )
+    execution = execute_grid(
+        spec,
+        jobs=args.jobs,
+        cache=_cli_cache(args),
+        resume=args.resume,
+        progress=print_progress if args.verbose else None,
+    )
+    grid = execution.grid
     print(render_grid(
         grid, args.workload, args.datasets, args.machines,
         systems_for_workload(args.workload),
         title=f"{args.workload} results (total response seconds)",
     ))
+    print(execution.report.summary())
     completed = grid.completed()
     if completed:
         from .obs import one_line_summary
@@ -194,10 +271,19 @@ def _cmd_grid(args) -> int:
                 continue
             result.observation.journal().write(trace_dir / _trace_filename(result))
             written += 1
-        print(f"{written} journals written to {trace_dir}/")
+        execution.scheduler_journal().write(trace_dir / "_scheduler.jsonl")
+        print(f"{written} cell journals (+ _scheduler.jsonl) written to "
+              f"{trace_dir}/")
     if args.log:
         count = write_log(grid.cells.values(), args.log)
         print(f"\n{count} runs appended to {args.log}")
+    return 0
+
+
+def _cmd_bench_grid(args) -> int:
+    from .exec.bench import run_bench
+
+    run_bench(jobs=args.jobs, output=args.output)
     return 0
 
 
@@ -308,6 +394,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "run": _cmd_run,
     "grid": _cmd_grid,
+    "bench-grid": _cmd_bench_grid,
     "cost": _cmd_cost,
     "weak": _cmd_weak,
     "findings": _cmd_findings,

@@ -3,17 +3,27 @@
 Runs system x workload x dataset x cluster-size cells and collects them
 into a :class:`ResultGrid` — the in-memory form of the paper's result
 figures, from which the bench harness prints each figure's rows.
+
+Grid execution is delegated to :mod:`repro.exec`: the classic
+sequential loop is the executor's ``jobs=1`` case, and the same call
+scales out over a process pool with result caching and resume (see
+``run_grid``'s ``jobs``/``cache_dir``/``resume`` parameters).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence, Tuple, Union)
 
 from ..cluster import CLUSTER_SIZES, ClusterSpec
-from ..datasets.registry import Dataset, load_dataset
+from ..datasets.registry import Dataset
 from ..engines import make_engine, systems_for_workload, workload_for
 from ..engines.base import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.progress import CellEvent
 
 __all__ = ["ExperimentSpec", "ResultGrid", "run_cell", "run_grid"]
 
@@ -75,6 +85,32 @@ class ResultGrid:
         metric = (lambda r: r.total_time) if end_to_end else (lambda r: r.execute_time)
         return min(candidates, key=metric)
 
+    def same_results(self, other: "ResultGrid") -> bool:
+        """True when both grids hold the same cells with the same results.
+
+        Compares every serializable quantity (times, failures, metrics)
+        plus the answer arrays exactly; observations are provenance, not
+        results, so a cached or worker-produced grid compares equal to
+        the sequential run that would have produced it.
+        """
+        import numpy as np
+
+        from ..analysis.logs import result_to_record
+
+        if set(self.cells) != set(other.cells):
+            return False
+        for key, mine in self.cells.items():
+            theirs = other.cells[key]
+            if result_to_record(mine) != result_to_record(theirs):
+                return False
+            if (mine.answer is None) != (theirs.answer is None):
+                return False
+            if mine.answer is not None and not np.array_equal(
+                mine.answer, theirs.answer
+            ):
+                return False
+        return True
+
     def __len__(self) -> int:
         return len(self.cells)
 
@@ -91,22 +127,32 @@ def run_cell(
     return engine.run(dataset, workload, ClusterSpec(cluster_size))
 
 
-def run_grid(spec: ExperimentSpec, verbose: bool = False) -> ResultGrid:
-    """Run the full matrix described by ``spec``."""
-    grid = ResultGrid()
-    for dataset_name in spec.datasets:
-        dataset = load_dataset(dataset_name, spec.dataset_size)
-        for workload_name in spec.workloads:
-            for cluster_size in spec.cluster_sizes:
-                for system in spec.systems:
-                    result = run_cell(system, workload_name, dataset, cluster_size)
-                    grid.put(result)
-                    if verbose:
-                        print(
-                            f"{system:>9s} {workload_name:>8s} {dataset_name:>8s} "
-                            f"@{cluster_size:<3d} -> {result.cell()}"
-                        )
-    return grid
+def run_grid(
+    spec: ExperimentSpec,
+    verbose: bool = False,
+    progress: Optional[Callable[["CellEvent"], None]] = None,
+    jobs: int = 1,
+    cache_dir: Union[None, str, Path] = None,
+    resume: bool = False,
+) -> ResultGrid:
+    """Run the full matrix described by ``spec``.
+
+    The default call (``jobs=1``, no cache) is the classic sequential
+    loop; ``jobs=N`` fans independent cells out over ``N`` worker
+    processes and ``cache_dir`` memoizes finished cells on disk (see
+    :func:`repro.exec.execute_grid`, which also returns the execution
+    report when you need it). Progress reporting goes through one
+    callback for every mode; ``verbose=True`` installs the default
+    printer.
+    """
+    from ..exec import execute_grid, print_progress
+
+    if progress is None and verbose:
+        progress = print_progress
+    execution = execute_grid(
+        spec, jobs=jobs, cache=cache_dir, resume=resume, progress=progress
+    )
+    return execution.grid
 
 
 def paper_grid(
@@ -114,8 +160,13 @@ def paper_grid(
     datasets: Sequence[str] = ("twitter", "uk0705", "wrn"),
     cluster_sizes: Sequence[int] = CLUSTER_SIZES,
     dataset_size: str = "small",
+    **run_kwargs,
 ) -> ResultGrid:
-    """The result grid of one of Figures 6-9: one workload, all systems."""
+    """The result grid of one of Figures 6-9: one workload, all systems.
+
+    Extra keyword arguments (``jobs``, ``cache_dir``, ``resume``,
+    ``progress``, ``verbose``) pass through to :func:`run_grid`.
+    """
     spec = ExperimentSpec(
         systems=systems_for_workload(workload_name),
         workloads=(workload_name,),
@@ -123,4 +174,4 @@ def paper_grid(
         cluster_sizes=tuple(cluster_sizes),
         dataset_size=dataset_size,
     )
-    return run_grid(spec)
+    return run_grid(spec, **run_kwargs)

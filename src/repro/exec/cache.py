@@ -1,0 +1,144 @@
+"""The content-addressed result cache and its canonical cell keys.
+
+A cell's key is a SHA-256 over everything that can change its result:
+
+* the cell coordinates (system, workload, cluster size),
+* the dataset's *content* — name, size, generator output (the exact
+  edge array, so changing a generator seed changes the key even though
+  the dataset keeps its name), SSSP source, and paper profile, and
+* the simulation code version: a digest of every source file in the
+  result-determining packages (engines, workloads, cluster, core,
+  datasets, graph, partitioning, obs). Editing a cost model invalidates
+  every cached cell; editing the CLI or this executor does not.
+
+Entries are one JSON file each under ``<cache-dir>/<k[:2]>/<k>.json``,
+written via temp-file + atomic rename so a killed run never leaves a
+truncated entry for ``--resume`` to trip over. Unreadable or corrupt
+entries degrade to cache misses, never to errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Union
+
+from ..datasets.registry import Dataset
+from .plan import CellTask
+from .serialize import PAYLOAD_VERSION
+
+__all__ = ["ResultCache", "cell_key", "code_fingerprint", "dataset_fingerprint"]
+
+#: repro subpackages whose source determines simulated results
+_RESULT_PACKAGES = (
+    "cluster", "core", "datasets", "engines", "graph", "obs",
+    "partitioning", "workloads",
+)
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the result-determining simulation source, this install."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for package in _RESULT_PACKAGES:
+        base = root / package
+        for path in sorted(base.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Digest of a dataset's identity *and* generated content.
+
+    Hashing the edge array (not just the name) means a changed generator
+    seed or a re-shaped synthetic graph busts every dependent cache
+    entry, exactly like a new copy of a real dataset would.
+    """
+    digest = hashlib.sha256()
+    digest.update(_canonical({
+        "name": dataset.name,
+        "size": dataset.size,
+        "num_vertices": dataset.graph.num_vertices,
+        "num_edges": dataset.graph.num_edges,
+        "sssp_source": dataset.sssp_source,
+        "metadata": repr(dataset.metadata),
+        "profile": repr(dataset.profile),
+    }).encode("utf-8"))
+    edges = dataset.graph.edge_array()
+    digest.update(str(edges.dtype).encode("ascii"))
+    digest.update(edges.tobytes())
+    return digest.hexdigest()
+
+
+def cell_key(
+    task: CellTask,
+    dataset: Dataset,
+    code_version: Optional[str] = None,
+) -> str:
+    """The cell's content-addressed cache key."""
+    if code_version is None:
+        code_version = code_fingerprint()
+    return hashlib.sha256(_canonical({
+        "payload_version": PAYLOAD_VERSION,
+        "system": task.system,
+        "workload": task.workload,
+        "cluster_size": task.cluster_size,
+        "dataset": dataset_fingerprint(dataset),
+        "code": code_version,
+    }).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk memo of finished cells, keyed by :func:`cell_key`."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.cache_dir = Path(cache_dir)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (two-level fan-out)."""
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached payload, or None on miss or a corrupt entry."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="ascii")
+            payload = json.loads(text)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("version") != PAYLOAD_VERSION:
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Store a payload atomically; concurrent writers are safe."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(_canonical(payload), encoding="ascii")
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.cache_dir)!r}, {len(self)} entries)"

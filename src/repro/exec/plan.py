@@ -1,0 +1,85 @@
+"""Grid planning: an :class:`ExperimentSpec` becomes a DAG of cell tasks.
+
+Every cell of the experiment matrix — (system, workload, dataset,
+cluster size) — is independent of every other cell: engines are
+constructed per run, datasets are deterministic pure functions of
+(name, size), and no cell reads another's output. The plan is therefore
+the degenerate DAG with no edges, which is exactly what makes the
+matrix embarrassingly parallel (the paper's own EC2 harness exploited
+the same structure by launching clusters side by side, §4.1).
+
+Planning is deterministic: tasks come out in the same nested order the
+sequential runner has always used (datasets → workloads → cluster
+sizes → systems), so a ``jobs=1`` execution of the plan is the old
+``run_grid`` loop verbatim and result grids assemble in identical
+insertion order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+from ..datasets.registry import DATASET_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..core.runner import ExperimentSpec
+
+__all__ = ["CellTask", "plan_grid"]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One independent cell of the experiment matrix."""
+
+    index: int          # position in plan order (grid assembly order)
+    system: str
+    workload: str
+    dataset: str
+    size: str
+    cluster_size: int
+
+    @property
+    def cell_id(self) -> str:
+        """Human-readable cell address used in errors and progress."""
+        return (f"{self.system}:{self.workload}:{self.dataset}/"
+                f"{self.size}@{self.cluster_size}")
+
+    @property
+    def portable(self) -> bool:
+        """True when a worker process can rebuild this cell's dataset.
+
+        Built-in datasets regenerate deterministically from (name, size)
+        in any process; ad-hoc datasets registered at runtime only exist
+        in the registering process, so their cells must run inline.
+        """
+        return self.dataset in DATASET_NAMES
+
+    def payload(self, attempt: int = 1) -> dict:
+        """The picklable work order a worker process receives."""
+        return {
+            "system": self.system,
+            "workload": self.workload,
+            "dataset": self.dataset,
+            "size": self.size,
+            "cluster_size": self.cluster_size,
+            "attempt": attempt,
+        }
+
+
+def plan_grid(spec: "ExperimentSpec") -> List[CellTask]:
+    """Expand a spec into its cell tasks, in the sequential loop order."""
+    tasks: List[CellTask] = []
+    for dataset_name in spec.datasets:
+        for workload_name in spec.workloads:
+            for cluster_size in spec.cluster_sizes:
+                for system in spec.systems:
+                    tasks.append(CellTask(
+                        index=len(tasks),
+                        system=system,
+                        workload=workload_name,
+                        dataset=dataset_name,
+                        size=spec.dataset_size,
+                        cluster_size=cluster_size,
+                    ))
+    return tasks

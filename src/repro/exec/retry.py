@@ -1,0 +1,41 @@
+"""Bounded retry with exponential backoff for worker-process failures.
+
+The policy governs *host-level* failures only: a worker raising an
+unexpected exception or its process dying. Simulated failure cells
+(TO/OOM/MPI/SHFL) are deterministic results of the model — rerunning
+one can only reproduce it — so they flow through as completed runs and
+are never retried. Backoff sleeps are host time and go through the
+:mod:`repro.obs.hostclock` door like every other wall-clock need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "ExecutorError"]
+
+
+class ExecutorError(RuntimeError):
+    """A cell exhausted its attempts; the last worker error is chained."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a crashed cell is re-attempted."""
+
+    #: total tries per cell (1 means no retries)
+    max_attempts: int = 3
+    #: host seconds before the first retry
+    base_delay: float = 0.05
+    #: backoff factor applied per subsequent retry
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.multiplier < 1:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Host seconds to wait after the ``failed_attempts``-th failure."""
+        return self.base_delay * self.multiplier ** (failed_attempts - 1)

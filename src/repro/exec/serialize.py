@@ -1,0 +1,102 @@
+"""Cell results as bytes: the cache's and the worker wire's one format.
+
+A finished :class:`~repro.engines.base.RunResult` crosses two
+boundaries: back from a worker process to the scheduler, and onto disk
+as a cache entry. Both use the same payload — the JSONL-log record the
+analysis layer already defines, plus the answer array (exact bytes, so
+a cached cell's answer is bit-identical to a fresh run's) and the run's
+canonical journal text (so ``--trace`` on a warm cache still writes
+byte-identical per-cell journals).
+
+Deserialized results carry a :class:`FrozenJournalObservation` instead
+of a live tracer: it replays the recorded journal on demand, which is
+all any consumer (``repro trace``, ``--trace`` exports) ever asks of a
+finished run's observation.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.logs import record_to_result, result_to_record
+from ..engines.base import RunResult
+from ..obs import Journal
+
+__all__ = [
+    "FrozenJournalObservation",
+    "result_to_payload",
+    "payload_to_result",
+]
+
+#: bump when the payload layout changes incompatibly (part of cache keys)
+PAYLOAD_VERSION = 1
+
+
+class FrozenJournalObservation:
+    """A finished run's observation, reconstituted from journal text.
+
+    Quacks like :class:`~repro.obs.RunObservation` for consumers of
+    finished runs: :meth:`journal` returns the event stream (whose
+    canonical dump is byte-identical to the original — JSON float
+    round-tripping is exact) and :attr:`meta` exposes the run metadata.
+    """
+
+    def __init__(self, journal_text: str) -> None:
+        self._text = journal_text
+
+    def journal(self) -> Journal:
+        """The recorded event stream."""
+        return Journal.loads(self._text)
+
+    @property
+    def meta(self) -> dict:
+        """The run's metadata event."""
+        return dict(self.journal().meta)
+
+    def __repr__(self) -> str:
+        return f"FrozenJournalObservation({len(self._text)} bytes)"
+
+
+def _encode_answer(answer: Optional[np.ndarray]) -> Optional[dict]:
+    if answer is None:
+        return None
+    arr = np.ascontiguousarray(answer)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_answer(encoded: Optional[dict]) -> Optional[np.ndarray]:
+    if encoded is None:
+        return None
+    raw = base64.b64decode(encoded["data"].encode("ascii"))
+    arr = np.frombuffer(raw, dtype=np.dtype(encoded["dtype"]))
+    return arr.reshape(encoded["shape"]).copy()
+
+
+def result_to_payload(result: RunResult) -> dict:
+    """Serialize a finished run for the cache and the worker wire."""
+    journal_text = None
+    if result.observation is not None:
+        journal_text = result.observation.journal().dumps()
+    return {
+        "version": PAYLOAD_VERSION,
+        "record": result_to_record(result),
+        "answer": _encode_answer(result.answer),
+        "journal": journal_text,
+    }
+
+
+def payload_to_result(payload: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from its payload form."""
+    result = record_to_result(payload["record"])
+    result.answer = _decode_answer(payload.get("answer"))
+    journal_text = payload.get("journal")
+    if journal_text is not None:
+        result.observation = FrozenJournalObservation(journal_text)  # type: ignore[assignment]
+    return result

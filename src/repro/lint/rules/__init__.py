@@ -9,6 +9,7 @@ from .rpl005_exceptions import ExceptionDisciplineRule
 from .rpl006_metadata import EngineMetadataRule
 from .rpl007_cost_accounting import CostAccountingRule
 from .rpl008_set_iteration import SetIterationRule
+from .rpl009_concurrency import ConcurrencyRule
 
 __all__ = [
     "Rule",
@@ -27,6 +28,7 @@ ALL_RULES = (
     EngineMetadataRule(),
     CostAccountingRule(),
     SetIterationRule(),
+    ConcurrencyRule(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,79 @@
+"""RPL009 — concurrency ban: one scheduler door, ``repro/exec/``.
+
+The simulation models distributed execution with *simulated* clocks and
+deterministic cost accounting; host-level concurrency anywhere inside
+the model would let scheduling nondeterminism leak into results (span
+orders, metric interleavings, iteration counts). Real parallelism
+belongs to exactly one place — the experiment executor in
+``repro/exec/``, which fans out whole independent cells and proves
+bit-equivalence with the sequential path. Mirroring RPL001's
+single-wall-clock-door pattern, every import of ``threading``,
+``multiprocessing``, or ``concurrent.futures`` outside that package is
+a violation, so the repo's entire concurrency surface stays auditable
+in one directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..source import SourceModule
+from .base import Rule, Violation
+
+__all__ = ["ConcurrencyRule"]
+
+#: module families that create host-level concurrency
+_BANNED_ROOTS = ("threading", "multiprocessing", "concurrent")
+
+#: the single sanctioned concurrency package (path fragment match, both
+#: separators so Windows checkouts stay covered)
+_ALLOWED_FRAGMENTS = (
+    "repro/exec/",
+    "repro\\exec\\",
+)
+
+
+def _is_allowlisted(path: str) -> bool:
+    return any(fragment in path for fragment in _ALLOWED_FRAGMENTS)
+
+
+def _banned_root(module_name: Optional[str]) -> Optional[str]:
+    if not module_name:
+        return None
+    root = module_name.split(".", 1)[0]
+    return root if root in _BANNED_ROOTS else None
+
+
+class ConcurrencyRule(Rule):
+    """Ban thread/process machinery outside the executor package."""
+
+    code = "RPL009"
+    name = "concurrency-door"
+    rationale = (
+        "host-level concurrency is nondeterministic; all of it lives in "
+        "repro/exec (the scheduler), never inside the simulation"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        if _is_allowlisted(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = _banned_root(alias.name)
+                    if root:
+                        yield self._flag(module, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                # absolute imports only: a relative ``from .concurrent``
+                # is a local module, not the stdlib family
+                if node.level == 0 and _banned_root(node.module):
+                    yield self._flag(module, node, node.module or "")
+
+    def _flag(self, module: SourceModule, node: ast.AST, name: str) -> Violation:
+        return self.violation(
+            module,
+            node,
+            f"concurrency import {name!r} outside repro/exec — cells "
+            f"parallelize through the executor, never inside the model",
+        )

@@ -15,7 +15,7 @@ Two invariants hold the layer honest:
   :mod:`repro.obs.hostclock`, the single module RPL001 allowlists.
 """
 
-from .hostclock import HostTimer, host_now
+from .hostclock import HostTimer, host_now, host_sleep
 from .journal import Journal, JournalError, build_journal
 from .metrics import (
     Counter,
@@ -58,4 +58,5 @@ __all__ = [
     "one_line_summary",
     "HostTimer",
     "host_now",
+    "host_sleep",
 ]

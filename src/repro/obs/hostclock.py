@@ -16,12 +16,23 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["host_now", "HostTimer"]
+__all__ = ["host_now", "host_sleep", "HostTimer"]
 
 
 def host_now() -> float:
     """Monotonic host seconds (``time.perf_counter``): profiling only."""
     return time.perf_counter()
+
+
+def host_sleep(seconds: float) -> None:
+    """Block this process for host ``seconds`` (``time.sleep``).
+
+    For harness-level pacing only — the executor's retry backoff waits
+    here between re-attempts of a crashed worker. Nothing simulated may
+    ever depend on it.
+    """
+    if seconds > 0:
+        time.sleep(seconds)
 
 
 class HostTimer:

@@ -26,6 +26,7 @@ Line format, one JSON object per line::
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -64,6 +65,18 @@ class Journal:
             raise JournalError(f"cannot read journal {path}: {exc}") from exc
         except UnicodeDecodeError as exc:
             raise JournalError(f"{path} is not a text journal: {exc}") from exc
+        return cls.loads(text, source=str(path))
+
+    @classmethod
+    def loads(cls, text: str, source: str = "<string>") -> "Journal":
+        """Parse journal text (the inverse of :meth:`dumps`).
+
+        Canonical dumps round-trip exactly: ``Journal.loads(t).dumps()``
+        equals ``t`` whenever ``t`` came from :meth:`dumps` (JSON float
+        repr is reversible), which is what lets cached cells replay
+        byte-identical journals.
+        """
+        path = source
         events = []
         for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
@@ -89,8 +102,16 @@ class Journal:
         return "\n".join(_dumps(event) for event in self.events) + "\n"
 
     def write(self, path: Union[str, Path]) -> int:
-        """Write the canonical JSONL form; returns lines written."""
-        Path(path).write_text(self.dumps(), encoding="ascii")
+        """Write the canonical JSONL form; returns lines written.
+
+        The write is atomic (temp file + rename in the target
+        directory): a reader — or a concurrent grid writing per-cell
+        journals — never observes a torn journal.
+        """
+        target = Path(path)
+        tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+        tmp.write_text(self.dumps(), encoding="ascii")
+        os.replace(tmp, target)
         return len(self.events)
 
     # -- accessors --------------------------------------------------------

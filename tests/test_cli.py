@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+from types import SimpleNamespace
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _trace_filename, build_parser, main
 
 
 class TestParser:
@@ -35,31 +37,54 @@ class TestCommands:
 
     def test_run_success(self, capsys):
         assert main(["run", "BV", "khop", "twitter", "-m", "16",
-                     "--size", "tiny"]) == 0
+                     "--size", "tiny", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "total s" in out
 
     def test_run_failure_exit_code(self, capsys):
         # GraphLab random cannot load WRN at 16 (§5.2): exit code 1
-        assert main(["run", "GL-S-R-I", "pagerank", "wrn", "-m", "16"]) == 1
+        assert main(["run", "GL-S-R-I", "pagerank", "wrn", "-m", "16",
+                     "--no-cache"]) == 1
         out = capsys.readouterr().out
         assert "OOM" in out
+
+    def test_run_second_call_hits_the_cache(self, capsys, tmp_path):
+        cmd = ["run", "BV", "khop", "twitter", "-m", "16", "--size", "tiny",
+               "--cache-dir", str(tmp_path / "cache")]
+        assert main(cmd) == 0
+        assert "result cache" not in capsys.readouterr().out
+        assert main(cmd) == 0
+        assert "cell served from the result cache" in capsys.readouterr().out
 
     def test_grid_and_log(self, capsys, tmp_path):
         log = tmp_path / "runs.jsonl"
         assert main([
             "grid", "khop", "--datasets", "twitter", "--machines", "16",
-            "--size", "tiny", "--log", str(log),
+            "--size", "tiny", "--log", str(log), "--no-cache",
         ]) == 0
         out = capsys.readouterr().out
         assert "khop results" in out
+        assert "exec:" in out
         assert log.exists()
         assert len(log.read_text().splitlines()) == 9   # GRID_SYSTEMS
+
+    def test_grid_warm_cache_and_trace(self, capsys, tmp_path):
+        cmd = ["grid", "khop", "--datasets", "twitter", "--machines", "16",
+               "--size", "tiny", "--cache-dir", str(tmp_path / "cache"),
+               "--trace", str(tmp_path / "traces")]
+        assert main(cmd) == 0
+        assert "9 executed" in capsys.readouterr().out
+        assert main(cmd + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "9 cached · 0 executed" in out
+        journals = sorted(p.name for p in (tmp_path / "traces").iterdir())
+        assert "_scheduler.jsonl" in journals
+        assert len(journals) == 10  # 9 cells + the scheduler's own journal
 
     def test_report_from_log(self, capsys, tmp_path):
         log = tmp_path / "runs.jsonl"
         main(["grid", "khop", "--datasets", "twitter", "--machines", "16",
-              "--size", "tiny", "--log", str(log)])
+              "--size", "tiny", "--log", str(log), "--no-cache"])
         capsys.readouterr()
         assert main(["report", str(log)]) == 0
         out = capsys.readouterr().out
@@ -69,7 +94,7 @@ class TestCommands:
     def test_report_to_file(self, capsys, tmp_path):
         log = tmp_path / "runs.jsonl"
         main(["grid", "khop", "--datasets", "twitter", "--machines", "16",
-              "--size", "tiny", "--log", str(log)])
+              "--size", "tiny", "--log", str(log), "--no-cache"])
         output = tmp_path / "report.md"
         assert main(["report", str(log), "-o", str(output)]) == 0
         assert output.exists()
@@ -92,3 +117,23 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Weak scaling" in out
         assert "efficiency" in out
+
+
+class TestTraceFilename:
+    def test_sanitized_and_collision_free(self):
+        # 'BB*' and 'BB-' sanitize to the same text; the digest of the
+        # raw coordinates keeps their journal paths distinct
+        star = SimpleNamespace(system="BB*", workload="pagerank",
+                               dataset="twitter", cluster_size=16)
+        dash = SimpleNamespace(system="BB-", workload="pagerank",
+                               dataset="twitter", cluster_size=16)
+        a, b = _trace_filename(star), _trace_filename(dash)
+        assert a != b
+        for name in (a, b):
+            assert name.endswith(".jsonl")
+            assert "*" not in name and "/" not in name
+
+    def test_stable_across_calls(self):
+        result = SimpleNamespace(system="GL-S-R-I", workload="wcc",
+                                 dataset="uk0705", cluster_size=128)
+        assert _trace_filename(result) == _trace_filename(result)

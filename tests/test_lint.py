@@ -32,9 +32,9 @@ def run(snippet, select=None):
 
 # -- registry ---------------------------------------------------------------
 
-def test_registry_covers_rpl001_through_rpl008():
-    assert sorted(RULES_BY_CODE) == [f"RPL00{i}" for i in range(1, 9)]
-    assert len(ALL_RULES) == 8
+def test_registry_covers_rpl001_through_rpl009():
+    assert sorted(RULES_BY_CODE) == [f"RPL00{i}" for i in range(1, 10)]
+    assert len(ALL_RULES) == 9
     for rule in ALL_RULES:
         assert rule.name and rule.rationale
 
@@ -396,6 +396,58 @@ def test_rpl008_clean_sorted_iteration():
         select="RPL008",
     )
     assert found == []
+
+
+# -- RPL009 concurrency door ------------------------------------------------
+
+def test_rpl009_flags_concurrency_imports_outside_exec():
+    found = lint_source(
+        textwrap.dedent(
+            """
+            import threading
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent import futures
+            """
+        ),
+        path="src/repro/core/runner.py",
+        rules=select_rules(["RPL009"]),
+    )
+    assert codes(found) == ["RPL009"] * 4
+    assert "repro/exec" in found[0].message
+
+
+def test_rpl009_allowlists_the_executor_package():
+    found = lint_source(
+        textwrap.dedent(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            import multiprocessing
+            """
+        ),
+        path="src/repro/exec/executor.py",
+        rules=select_rules(["RPL009"]),
+    )
+    assert found == []
+
+
+def test_rpl009_ignores_relative_and_unrelated_imports():
+    found = run(
+        """
+        from .concurrent import local_helper
+        import itertools
+        from functools import lru_cache
+        """,
+        select="RPL009",
+    )
+    assert found == []
+
+
+def test_rpl009_src_repro_has_one_concurrency_door():
+    # the repo-level contract: every concurrency import in src/repro
+    # lives under repro/exec/ (lint_paths on the real tree proves it)
+    violations = lint_paths([SRC_REPRO], rules=select_rules(["RPL009"]))
+    assert violations == []
 
 
 # -- suppression and parse errors -------------------------------------------
