@@ -1,0 +1,272 @@
+"""The recovery-cost experiment: MTTR vs fault intensity per system.
+
+The paper's Table 1 lists each system's fault-tolerance mechanism but
+never measures it. This experiment does: for each (system, fault kind,
+intensity) cell it runs a fault-free reference plus a faulted run whose
+events are spread evenly across the reference's execute window, then
+reports the mean time to recover (charged ``recovery_seconds`` per
+fault), the end-to-end overhead, and — the correctness gate — whether
+the faulted run's answers are bit-equal to the reference's.
+
+Everything executes through :func:`repro.exec.execute_specs`, so cells
+are cacheable (the chaos plan, seed included, is part of the cache key)
+and fan out over ``--jobs`` workers; faulted cells of the same
+coordinates stay distinct because the experiment consumes the plan-
+ordered ``GridExecution.results``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.runner import ExperimentSpec
+from ..engines import make_engine
+from ..engines.base import RunResult
+from .events import (
+    BlockLoss,
+    ChaosEvent,
+    CheckpointCorruption,
+    MachineCrash,
+    MessageLoss,
+    NetworkDegradation,
+    NetworkPartition,
+    Straggler,
+)
+from .plan import ChaosPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "DEFAULT_FAULTS",
+    "DEFAULT_SYSTEMS",
+    "RecoveryCell",
+    "ChaosReport",
+    "plan_for",
+    "recovery_cost_experiment",
+]
+
+#: every injectable fault kind, in taxonomy order
+FAULT_KINDS = (
+    "crash", "straggler", "netdegrade", "netsplit", "msgloss",
+    "blockloss", "ckptcorrupt",
+)
+
+#: the default grid: one fault of each blast radius
+DEFAULT_FAULTS = ("crash", "straggler", "netsplit", "blockloss")
+
+#: spans all three Table 1 mechanisms: checkpoint (BV, G),
+#: re-execution (HD), none (V)
+DEFAULT_SYSTEMS = ("BV", "G", "HD", "V")
+
+
+def _event_at(kind: str, time: float) -> ChaosEvent:
+    """One event of ``kind`` at ``time`` (taxonomy defaults)."""
+    if kind == "crash":
+        return MachineCrash(time=time)
+    if kind == "straggler":
+        return Straggler(time=time)
+    if kind == "netdegrade":
+        return NetworkDegradation(time=time)
+    if kind == "netsplit":
+        return NetworkPartition(time=time)
+    if kind == "msgloss":
+        return MessageLoss(time=time)
+    if kind == "blockloss":
+        return BlockLoss(time=time)
+    if kind == "ckptcorrupt":
+        return CheckpointCorruption(time=time)
+    raise KeyError(f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}")
+
+
+def plan_for(
+    kind: str,
+    intensity: int,
+    window: Tuple[float, float],
+    seed: int = 0,
+    checkpoint_interval: int = 10,
+) -> ChaosPlan:
+    """``intensity`` events of ``kind`` spread evenly across ``window``.
+
+    Event i of n fires at ``start + (end - start) * (i+1)/(n+1)`` — all
+    strictly inside the window, so every scheduled fault actually hits
+    a running superstep loop. Corruption events each precede an extra
+    crash (corruption alone costs nothing until something fails).
+    """
+    if intensity < 1:
+        raise ValueError("intensity must be >= 1")
+    start, end = window
+    if end <= start:
+        raise ValueError("window must have positive length")
+    events: List[ChaosEvent] = []
+    for i in range(intensity):
+        time = start + (end - start) * (i + 1) / (intensity + 1)
+        events.append(_event_at(kind, time))
+        if kind == "ckptcorrupt":
+            # the corrupted checkpoint only costs when a crash follows
+            events.append(MachineCrash(time=time + (end - start) * 0.5 / (intensity + 1)))
+    return ChaosPlan(
+        events=tuple(events), checkpoint_interval=checkpoint_interval, seed=seed
+    )
+
+
+@dataclass
+class RecoveryCell:
+    """One (system, fault kind, intensity) cell of the MTTR grid."""
+
+    system: str
+    fault: str
+    intensity: int
+    clean: RunResult
+    faulted: RunResult
+    #: Table 1 mechanism the system recovered with
+    mechanism: str
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total simulated seconds charged inside ``recover`` spans."""
+        return float(self.faulted.extras.get("recovery_seconds", 0.0))
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to recover: recovery seconds per injected fault."""
+        return self.recovery_seconds / self.intensity
+
+    @property
+    def overhead_seconds(self) -> float:
+        """End-to-end slowdown vs the fault-free reference."""
+        return self.faulted.total_time - self.clean.total_time
+
+    @property
+    def answers_exact(self) -> bool:
+        """The correctness gate: faulted answers bit-equal the reference.
+
+        Vacuously False when either run failed (TO under heavy chaos is
+        a legitimate outcome — the cell reports the failure code).
+        """
+        if self.clean.answer is None or self.faulted.answer is None:
+            return False
+        return bool(np.array_equal(self.clean.answer, self.faulted.answer))
+
+    @property
+    def completed(self) -> bool:
+        """Both runs finished (no TO/OOM under chaos)."""
+        return self.clean.ok and self.faulted.ok
+
+    def cell_text(self) -> str:
+        """Grid cell: ``MTTR (+overhead)`` seconds, or the failure code."""
+        if not self.faulted.ok:
+            return str(self.faulted.failure)
+        return f"{self.mttr:.0f} (+{self.overhead_seconds:.0f})"
+
+
+@dataclass
+class ChaosReport:
+    """The full recovery-cost grid plus its correctness verdict."""
+
+    workload: str
+    dataset: str
+    cluster_size: int
+    seed: int
+    cells: List[RecoveryCell] = field(default_factory=list)
+    clean: Dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def all_exact(self) -> bool:
+        """True when every completed faulted run matched its reference."""
+        return all(c.answers_exact for c in self.cells if c.completed)
+
+    def mismatches(self) -> List[RecoveryCell]:
+        """Completed cells whose answers diverged (must be empty)."""
+        return [c for c in self.cells if c.completed and not c.answers_exact]
+
+
+def recovery_cost_experiment(
+    systems: Sequence[str] = DEFAULT_SYSTEMS,
+    workload: str = "pagerank",
+    dataset: str = "twitter",
+    cluster_size: int = 16,
+    dataset_size: str = "small",
+    faults: Sequence[str] = DEFAULT_FAULTS,
+    intensities: Sequence[int] = (1, 2, 3),
+    seed: int = 0,
+    checkpoint_interval: int = 10,
+    jobs: Optional[int] = None,
+    cache_dir: Union[None, str, Path] = None,
+    resume: bool = False,
+    progress=None,
+) -> ChaosReport:
+    """Measure every system's recovery cost across the fault grid.
+
+    Runs the fault-free references first (they define each system's
+    execute window, which the fault times are derived from), then the
+    whole faulted matrix in one pooled :func:`~repro.exec.execute_specs`
+    call. Deterministic end to end: same seed ⇒ same plans ⇒ same
+    results, byte-identical journals included.
+    """
+    from ..exec import execute_specs
+
+    for kind in faults:
+        if kind not in FAULT_KINDS:
+            raise KeyError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+
+    base = dict(
+        workloads=(workload,),
+        datasets=(dataset,),
+        cluster_sizes=(cluster_size,),
+        dataset_size=dataset_size,
+    )
+    exec_kwargs = dict(
+        jobs=jobs, cache=cache_dir, resume=resume, progress=progress
+    )
+
+    clean_exec = execute_specs(
+        [ExperimentSpec(systems=tuple(systems), **base)], **exec_kwargs
+    )
+    clean = {r.system: r for r in clean_exec.results}
+
+    specs: List[ExperimentSpec] = []
+    coords: List[Tuple[str, str, int]] = []
+    for system in systems:
+        reference = clean[system]
+        if not reference.ok:
+            continue
+        window = (
+            reference.load_time,
+            reference.load_time + reference.execute_time,
+        )
+        for kind in faults:
+            for intensity in intensities:
+                specs.append(ExperimentSpec(
+                    systems=(system,),
+                    chaos=plan_for(
+                        kind, intensity, window,
+                        seed=seed, checkpoint_interval=checkpoint_interval,
+                    ),
+                    **base,
+                ))
+                coords.append((system, kind, intensity))
+
+    faulted_exec = execute_specs(specs, **exec_kwargs) if specs else None
+
+    report = ChaosReport(
+        workload=workload, dataset=dataset, cluster_size=cluster_size,
+        seed=seed, clean=clean,
+    )
+    if faulted_exec is not None:
+        for (system, kind, intensity), faulted in zip(
+            coords, faulted_exec.results
+        ):
+            report.cells.append(RecoveryCell(
+                system=system,
+                fault=kind,
+                intensity=intensity,
+                clean=clean[system],
+                faulted=faulted,
+                mechanism=make_engine(system).fault_tolerance,
+            ))
+    return report

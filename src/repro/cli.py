@@ -9,6 +9,7 @@ Subcommands mirror the study's workflow::
     repro bench-grid                    # time jobs=1 vs jobs=N -> BENCH_grid.json
     repro cost                          # Table 9 (the COST experiment)
     repro weak BV pagerank twitter      # the weak-scaling extension
+    repro chaos --faults crash netsplit # fault injection: MTTR per system
     repro report runs.jsonl -o out.md   # Markdown report from a log
     repro trace trace.jsonl --summary   # inspect a run journal
     repro lint src/                     # enforce the model contracts (RPLxxx)
@@ -31,6 +32,7 @@ from typing import List, Optional
 
 from .analysis import render_grid, render_table, write_log
 from .analysis.report import grid_report
+from .chaos.experiment import DEFAULT_FAULTS, DEFAULT_SYSTEMS, FAULT_KINDS
 from .cluster import CLUSTER_SIZES
 from .core import cost_experiment
 from .core.weak_scaling import weak_efficiency, weak_scaling_experiment
@@ -111,7 +113,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset", choices=DATASET_NAMES)
     p.add_argument("--machines", nargs="+", type=int, default=list(CLUSTER_SIZES))
 
-    sub.add_parser("findings", help="verify the paper's major findings")
+    p = sub.add_parser("findings", help="verify the paper's major findings")
+    p.add_argument("--extensions", action="store_true",
+                   help="also verify the beyond-the-paper extension findings")
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault injection: the MTTR-vs-fault-intensity grid per system",
+    )
+    p.add_argument("--systems", nargs="+", default=list(DEFAULT_SYSTEMS),
+                   choices=sorted(ENGINE_KEYS), metavar="SYS",
+                   help=f"systems under chaos (default: {' '.join(DEFAULT_SYSTEMS)})")
+    p.add_argument("--workload", default="pagerank",
+                   choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
+    p.add_argument("--dataset", default="twitter", choices=DATASET_NAMES)
+    p.add_argument("-m", "--machines", type=int, default=16)
+    p.add_argument("--size", default="small")
+    p.add_argument("--faults", nargs="+", default=list(DEFAULT_FAULTS),
+                   choices=FAULT_KINDS, metavar="KIND",
+                   help=f"fault kinds to inject (default: {' '.join(DEFAULT_FAULTS)}; "
+                        f"all: {' '.join(FAULT_KINDS)})")
+    p.add_argument("--intensities", nargs="+", type=int, default=[1, 2, 3],
+                   metavar="N", help="faults per run (default: 1 2 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos seed: fault-to-machine assignment (default 0)")
+    p.add_argument("--checkpoint-interval", type=int, default=10, metavar="K",
+                   help="supersteps between checkpoints for checkpointing "
+                        "systems (default 10)")
+    p.add_argument("--trace", metavar="DIR",
+                   help="write one journal per faulted cell (and per "
+                        "fault-free reference) into this directory")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print one progress line per finished cell")
+    _add_exec_options(p)
 
     p = sub.add_parser("report", help="render a Markdown report from a log")
     p.add_argument("log", help="JSONL file written by 'repro grid --log'")
@@ -132,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how many span groups the summary ranks (default 5)")
 
     p = sub.add_parser(
-        "lint", help="static analysis of the model contracts (RPL001-RPL009)"
+        "lint", help="static analysis of the model contracts (RPL001-RPL010)"
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -162,7 +196,7 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
-def _trace_filename(result) -> str:
+def _trace_filename(result, tag: str = "") -> str:
     """A collision-free, filesystem-safe per-cell journal filename.
 
     System keys hold characters like ``*`` that need replacing, and two
@@ -170,14 +204,17 @@ def _trace_filename(result) -> str:
     so the name carries a short digest of the *raw* cell coordinates:
     distinct cells can never target the same path, while the name stays
     stable across runs (the parallel-vs-sequential byte comparison
-    depends on that). Writes themselves are atomic via
-    :meth:`repro.obs.Journal.write`.
+    depends on that). ``tag`` distinguishes runs that share coordinates
+    but differ otherwise — chaos variants of the same cell. Writes
+    themselves are atomic via :meth:`repro.obs.Journal.write`.
     """
     import hashlib
     import re
 
     stem = (f"{result.system}_{result.workload}_{result.dataset}"
             f"_{result.cluster_size}")
+    if tag:
+        stem += f"_{tag}"
     digest = hashlib.sha256(stem.encode("utf-8")).hexdigest()[:8]
     safe = re.sub(r"[^A-Za-z0-9_.+-]", "-", stem)
     return f"{safe}.{digest}.jsonl"
@@ -324,10 +361,88 @@ def _cmd_weak(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos.experiment import recovery_cost_experiment
+    from .exec import print_progress
+
+    report = recovery_cost_experiment(
+        systems=tuple(args.systems),
+        workload=args.workload,
+        dataset=args.dataset,
+        cluster_size=args.machines,
+        dataset_size=args.size,
+        faults=tuple(args.faults),
+        intensities=tuple(args.intensities),
+        seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
+        jobs=args.jobs,
+        cache_dir=_cli_cache(args),
+        resume=args.resume,
+        progress=print_progress if args.verbose else None,
+    )
+
+    grouped: dict = {}
+    for cell in report.cells:
+        grouped.setdefault((cell.system, cell.fault), {})[cell.intensity] = cell
+    rows = []
+    for (system, fault), cells in grouped.items():
+        row = {
+            "system": system,
+            "mechanism": next(iter(cells.values())).mechanism,
+            "fault": fault,
+        }
+        for intensity in args.intensities:
+            cell = cells.get(intensity)
+            row[f"x{intensity}"] = cell.cell_text() if cell else "-"
+        rows.append(row)
+    print(render_table(
+        rows,
+        title=(f"MTTR (+end-to-end overhead) seconds — {args.workload}/"
+               f"{args.dataset}@{args.machines} machines, seed {args.seed}, "
+               f"checkpoint interval {args.checkpoint_interval}"),
+    ))
+    for system, reference in report.clean.items():
+        if not reference.ok:
+            print(f"note: fault-free {system} reference failed "
+                  f"({reference.cell()}); its chaos cells were skipped")
+
+    if args.trace:
+        from pathlib import Path
+
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for reference in report.clean.values():
+            if reference.observation is None:
+                continue
+            reference.observation.journal().write(
+                trace_dir / _trace_filename(reference, tag="clean"))
+            written += 1
+        for cell in report.cells:
+            if cell.faulted.observation is None:
+                continue
+            cell.faulted.observation.journal().write(trace_dir / _trace_filename(
+                cell.faulted, tag=f"{cell.fault}x{cell.intensity}"))
+            written += 1
+        print(f"{written} journals written to {trace_dir}/")
+
+    mismatches = report.mismatches()
+    if mismatches:
+        print("\nANSWER MISMATCH — faulted runs must return answers "
+              "bit-equal to the fault-free reference:")
+        for cell in mismatches:
+            print(f"  {cell.system} {cell.fault} x{cell.intensity}")
+        return 1
+    completed = sum(1 for c in report.cells if c.completed)
+    print(f"\nall {completed} completed faulted runs returned bit-exact "
+          f"answers (vs their fault-free references)")
+    return 0
+
+
 def _cmd_findings(args) -> int:
     from .core import verify_all_findings
 
-    findings = verify_all_findings()
+    findings = verify_all_findings(include_extensions=args.extensions)
     rows = [{
         "finding": f.key,
         "section": f.section,
@@ -398,6 +513,7 @@ _COMMANDS = {
     "cost": _cmd_cost,
     "weak": _cmd_weak,
     "findings": _cmd_findings,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
     "trace": _cmd_trace,
     "lint": _cmd_lint,

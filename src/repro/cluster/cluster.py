@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..chaos.runtime import ChaosRuntime
 from ..obs import MetricsRegistry, RunObservation, Tracer
 from .failures import SimulatedTimeout
 from .hdfs import HdfsModel
@@ -56,6 +57,13 @@ class Cluster:
         self.network = NetworkModel(self.num_workers, spec.machine)
         self.hdfs = HdfsModel(self.num_workers, spec.machine)
         self.tracker = ResourceTracker(self.num_workers)
+        # A fresh per-run cursor over the (immutable) chaos plan: reusing
+        # one spec across grid cells re-arms every scheduled fault.
+        self.chaos: Optional[ChaosRuntime] = (
+            ChaosRuntime(spec.fault_plan, self.num_workers)
+            if spec.fault_plan is not None
+            else None
+        )
 
     @property
     def tracer(self) -> Tracer:
@@ -101,6 +109,10 @@ class Cluster:
         """
         if len(work_seconds_per_machine) == 0:
             return 0.0
+        if self.chaos is not None:
+            work_seconds_per_machine = self.chaos.apply_compute(
+                work_seconds_per_machine
+            )
         step = max(work_seconds_per_machine) + iowait_seconds
         with self.tracer.span("compute", cat="cluster", seconds=step,
                               iowait_seconds=iowait_seconds):

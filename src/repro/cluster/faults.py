@@ -3,11 +3,13 @@
 The paper catalogues each system's fault-tolerance mechanism
 (re-execution for the MapReduce family, global checkpoints for the
 in-memory systems, nothing for Vertica) but never kills a machine.
-This module adds that experiment: a :class:`FaultPlan` schedules worker
-failures at simulated times; engines consume the events between
-supersteps and charge their system's recovery cost.
+:class:`FaultPlan` started that experiment with timed whole-worker
+deaths; it is now the backward-compatible face of
+:class:`repro.chaos.ChaosPlan`, which generalizes it to the full fault
+taxonomy (stragglers, degraded links, partitions, message loss, HDFS
+block loss, checkpoint corruption — see ``repro.chaos.events``).
 
-Recovery models:
+Recovery models (see :mod:`repro.chaos.recovery`):
 
 * ``checkpoint`` — the BSP systems write a global checkpoint every
   ``checkpoint_interval`` supersteps (a replicated HDFS write of the
@@ -17,43 +19,57 @@ Recovery models:
   the current iteration; the blast radius is one machine's shard, not
   the cluster.
 * ``none`` — Vertica aborts the query; the run restarts from zero.
+
+Statefulness: plans are immutable during runs. Engines consume events
+through a per-run :class:`~repro.chaos.runtime.ChaosRuntime`, so a
+``ClusterSpec`` reused across grid cells re-arms every fault each run.
+The legacy ``pop_due``/``pending``/``reset`` float API remains for
+callers that drive a plan by hand.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
+
+from ..chaos.events import MachineCrash
+from ..chaos.plan import ChaosPlan
 
 __all__ = ["FaultPlan"]
 
 
-@dataclass
-class FaultPlan:
-    """Scheduled worker failures for one run."""
+@dataclass(unsafe_hash=True)
+class FaultPlan(ChaosPlan):
+    """Scheduled worker failures for one run (legacy float-time API)."""
 
-    #: simulated seconds at which a (random) worker dies
+    #: simulated seconds at which a worker dies (becomes ``MachineCrash``
+    #: events; the plan seed picks the victims)
     fail_times: Tuple[float, ...] = ()
-    #: supersteps between global checkpoints (checkpointing systems)
-    checkpoint_interval: int = 10
 
     def __post_init__(self) -> None:
         if any(t < 0 for t in self.fail_times):
             raise ValueError("failure times must be non-negative")
-        if self.checkpoint_interval < 1:
-            raise ValueError("checkpoint_interval must be >= 1")
-        self._pending: List[float] = sorted(self.fail_times)
+        self.events = tuple(self.events) + tuple(
+            MachineCrash(time=t) for t in sorted(self.fail_times)
+        )
+        super().__post_init__()
+        self.reset()
 
     def pop_due(self, now: float) -> List[float]:
-        """Failure events that have fired by ``now`` (consumed once)."""
+        """Failure times that have fired by ``now`` (consumed once).
+
+        Legacy hand-driving API: drains this plan's own cursor, not the
+        per-run :class:`~repro.chaos.runtime.ChaosRuntime` engines use.
+        """
         due = [t for t in self._pending if t <= now]
         self._pending = [t for t in self._pending if t > now]
         return due
 
     @property
     def pending(self) -> Tuple[float, ...]:
-        """Events not yet fired."""
+        """Failure times not yet consumed via :meth:`pop_due`."""
         return tuple(self._pending)
 
     def reset(self) -> None:
-        """Re-arm every event (used when a run restarts from zero)."""
-        self._pending = sorted(self.fail_times)
+        """Re-arm every event (the legacy cursor only; runs never drain it)."""
+        self._pending: List[float] = sorted(self.fail_times)

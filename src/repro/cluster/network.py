@@ -26,14 +26,21 @@ class NetworkModel:
         self.num_machines = num_machines
         self.machine = machine
         self.total_bytes: float = 0.0
+        #: chaos NIC-bandwidth divisor (1.0 = healthy; set each superstep
+        #: from the run's active NetworkDegradation events)
+        self.degradation: float = 1.0
 
     def _record(self, nbytes: float) -> None:
         self.total_bytes += nbytes
 
+    def _bps(self) -> float:
+        """Effective per-NIC bandwidth under the current degradation."""
+        return self.machine.network_bps / self.degradation
+
     def point_to_point_time(self, nbytes: float) -> float:
         """One machine streaming ``nbytes`` to another."""
         self._record(nbytes)
-        return self.base_latency + nbytes / self.machine.network_bps
+        return self.base_latency + nbytes / self._bps()
 
     def broadcast_time(self, nbytes: float) -> float:
         """Master sends ``nbytes`` to every worker (tree-structured)."""
@@ -41,7 +48,7 @@ class NetworkModel:
 
         self._record(nbytes * (self.num_machines - 1))
         rounds = max(1, math.ceil(math.log2(max(2, self.num_machines))))
-        return rounds * (self.base_latency + nbytes / self.machine.network_bps)
+        return rounds * (self.base_latency + nbytes / self._bps())
 
     def gather_time(self, nbytes_per_machine: float) -> float:
         """Every worker sends ``nbytes_per_machine`` to the master.
@@ -51,7 +58,7 @@ class NetworkModel:
         """
         total = nbytes_per_machine * (self.num_machines - 1)
         self._record(total)
-        return self.base_latency + total / self.machine.network_bps
+        return self.base_latency + total / self._bps()
 
     def shuffle_time(
         self,
@@ -74,7 +81,7 @@ class NetworkModel:
         self._record(wire_bytes)
         per_machine = wire_bytes / self.num_machines
         bottleneck = per_machine * (1.0 + skew)
-        return self.base_latency + bottleneck / self.machine.network_bps
+        return self.base_latency + bottleneck / self._bps()
 
     def barrier_time(self) -> float:
         """A BSP synchronization barrier (small all-to-master-to-all)."""

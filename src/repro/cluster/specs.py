@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:
-    from .faults import FaultPlan
+    from ..chaos.plan import ChaosPlan
 
 __all__ = [
     "MachineSpec",
@@ -80,8 +80,9 @@ class ClusterSpec:
     num_machines: int
     machine: MachineSpec = R3_XLARGE
     timeout_seconds: float = 24 * 3600.0   # the paper's TO budget
-    #: scheduled worker failures (None = the paper's failure-free runs)
-    fault_plan: Optional["FaultPlan"] = None
+    #: scheduled fault events — a :class:`~repro.chaos.ChaosPlan` or its
+    #: legacy ``FaultPlan`` subclass (None = the paper's failure-free runs)
+    fault_plan: Optional["ChaosPlan"] = None
 
     def __post_init__(self) -> None:
         if self.num_machines < 2:

@@ -1,7 +1,7 @@
 """Experiment core: matrix runner, COST analysis, tuning, scalability."""
 
 from .cost import CostRow, cost_experiment, cost_factor
-from .findings import FINDINGS, Finding, verify_all_findings
+from .findings import EXTENSION_FINDINGS, FINDINGS, Finding, verify_all_findings
 from .runner import ExperimentSpec, ResultGrid, paper_grid, run_cell, run_grid
 from .scalability import ScalingCurve, scaling_classification, scaling_curves
 from .sensitivity import (
@@ -35,6 +35,7 @@ __all__ = [
     "cost_experiment",
     "Finding",
     "FINDINGS",
+    "EXTENSION_FINDINGS",
     "verify_all_findings",
     "VerticalPoint",
     "PERTURBABLE_CONSTANTS",

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
                     Sequence, Tuple, Union)
 
+from ..chaos.plan import ChaosPlan
 from ..cluster import CLUSTER_SIZES, ClusterSpec
 from ..datasets.registry import Dataset
 from ..engines import make_engine, systems_for_workload, workload_for
@@ -37,6 +38,9 @@ class ExperimentSpec:
     datasets: Tuple[str, ...]
     cluster_sizes: Tuple[int, ...] = CLUSTER_SIZES
     dataset_size: str = "small"
+    #: fault schedule injected into every cell (None = failure-free);
+    #: the plan's seed and events join the exec cache key
+    chaos: Optional[ChaosPlan] = None
 
 
 @dataclass
@@ -120,11 +124,14 @@ def run_cell(
     workload_name: str,
     dataset: Dataset,
     cluster_size: int,
+    chaos: Optional[ChaosPlan] = None,
 ) -> RunResult:
-    """Run one experiment cell."""
+    """Run one experiment cell (optionally under a chaos plan)."""
     engine = make_engine(system)
     workload = workload_for(engine, workload_name, dataset)
-    return engine.run(dataset, workload, ClusterSpec(cluster_size))
+    return engine.run(
+        dataset, workload, ClusterSpec(cluster_size, fault_plan=chaos)
+    )
 
 
 def run_grid(

@@ -23,11 +23,15 @@ import abc
 from dataclasses import dataclass, field
 from functools import lru_cache
 from types import MappingProxyType
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..cluster import Cluster, ClusterSpec, FailureKind, SimulatedFailure
+
+if TYPE_CHECKING:
+    from ..chaos.events import ChaosEvent, NetworkPartition
+    from ..chaos.plan import ChaosPlan
 from ..datasets.registry import Dataset
 from ..graph.stats import estimate_diameter
 from ..obs import ExtrasView, MetricsRegistry, RunObservation
@@ -40,6 +44,8 @@ from ..workloads.wcc import WCC
 __all__ = [
     "RunResult",
     "Engine",
+    "RecoveryContext",
+    "RecoveryModel",
     "make_workload",
     "iteration_scale",
     "WORKLOAD_NAMES",
@@ -200,6 +206,76 @@ def workload_for(engine: "Engine", name: str, dataset: Dataset) -> Workload:
     )
 
 
+@dataclass
+class RecoveryContext:
+    """Everything a :class:`RecoveryModel` needs to charge recovery cost.
+
+    Built once per superstep loop; the loop refreshes the per-superstep
+    fields (``iteration``, ``superstep_start``, ``superstep_shuffled``)
+    before each chaos round. ``checkpoints`` is the run's checkpoint
+    history as ``(simulated_time, iteration)`` pairs — corruption events
+    pop entries so the next crash falls back further.
+    """
+
+    cluster: Cluster
+    dataset: Dataset
+    result: "RunResult"
+    #: when the superstep loop started (restart-from-zero replays to here)
+    loop_start: float
+    #: bytes one global state checkpoint writes
+    state_bytes: float
+    iteration: int = 0
+    superstep_start: float = 0.0
+    #: bytes the superstep just run shuffled (message-loss redelivery base)
+    superstep_shuffled: float = 0.0
+    checkpoints: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def last_checkpoint(self) -> Tuple[float, int]:
+        """Latest usable checkpoint, or the loop start when none exist."""
+        return self.checkpoints[-1] if self.checkpoints else (self.loop_start, 0)
+
+    def count_replayed(self, supersteps: int) -> None:
+        """Record supersteps a recovery re-executed (journal metric)."""
+        self.cluster.metrics.counter("supersteps_replayed").inc(supersteps)
+
+
+class RecoveryModel(abc.ABC):
+    """Table 1's fault-tolerance mechanism as chargeable behaviour.
+
+    One instance per run, produced by :meth:`Engine.recovery_model`.
+    The superstep loop calls :meth:`maybe_checkpoint` every round and
+    routes crash/partition/corruption events here; each method charges
+    simulated time through the context's cluster (concrete models live
+    in :mod:`repro.chaos.recovery`).
+    """
+
+    #: mechanism tag recorded on recover spans ("checkpoint",
+    #: "reexecution", or "none")
+    name: str = ""
+
+    def maybe_checkpoint(self, ctx: RecoveryContext) -> None:
+        """Write a global checkpoint if this round is due (default: never)."""
+
+    @abc.abstractmethod
+    def recover_crash(
+        self, ctx: RecoveryContext, event: "ChaosEvent", machine: int
+    ) -> None:
+        """Charge the cost of recovering from a dead worker."""
+
+    def recover_partition(
+        self, ctx: RecoveryContext, event: "NetworkPartition", machine: int
+    ) -> None:
+        """A machine group is unreachable: stall at the barrier until it
+        heals (systems that cannot wait override and restart)."""
+        ctx.cluster.advance(event.seconds)
+
+    def corrupt_checkpoint(
+        self, ctx: RecoveryContext, event: "ChaosEvent"
+    ) -> None:
+        """The latest checkpoint became unreadable (no-op without one)."""
+
+
 class Engine(abc.ABC):
     """A distributed graph processing system under evaluation."""
 
@@ -238,6 +314,12 @@ class Engine(abc.ABC):
     def workers_for(self, spec: ClusterSpec) -> int:
         """Worker count on a given cluster."""
         return spec.num_machines if self.uses_all_machines else spec.num_workers
+
+    def recovery_model(self, plan: "ChaosPlan") -> RecoveryModel:
+        """This system's Table 1 mechanism, ready to charge recovery cost."""
+        from ..chaos.recovery import recovery_model_for
+
+        return recovery_model_for(self.fault_tolerance, plan.checkpoint_interval)
 
     def run(
         self,

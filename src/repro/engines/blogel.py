@@ -272,7 +272,9 @@ class BlogelBEngine(BspExecutionMixin, Engine):
             if aggregate_bytes > INT32_MAX:
                 raise MPIOverflowError(
                     f"Voronoi aggregation of {aggregate_bytes / 1e9:.1f} GB "
-                    "overflows MPI's 32-bit offsets"
+                    "overflows MPI's 32-bit offsets",
+                    # the gather lands on the master rank
+                    machine=0,
                 )
 
         bp = self._partition(dataset, cluster.num_workers)

@@ -14,11 +14,13 @@ from __future__ import annotations
 import abc
 from typing import Optional
 
+from ..chaos.events import ChaosEvent
+from ..chaos.runtime import ChaosRuntime
 from ..cluster import Cluster
 from ..datasets.registry import Dataset
 from ..graph.structures import Graph
 from ..workloads.base import SuperstepStats, Workload, WorkloadState
-from .base import RunResult
+from .base import RecoveryContext, RecoveryModel, RunResult
 from .common import observed_superstep
 
 __all__ = ["BspExecutionMixin"]
@@ -73,8 +75,18 @@ class BspExecutionMixin(abc.ABC):
         self.scale_fixed = scale
         self.scale_messages = scale ** 0.5
         loop_start = cluster.now
-        last_checkpoint = cluster.now
-        superstep_start = cluster.now
+        chaos = cluster.chaos
+        recovery: Optional[RecoveryModel] = None
+        ctx: Optional[RecoveryContext] = None
+        if chaos is not None:
+            recovery = self.recovery_model(chaos.plan)  # type: ignore[attr-defined]
+            ctx = RecoveryContext(
+                cluster=cluster,
+                dataset=dataset,
+                result=result,
+                loop_start=loop_start,
+                state_bytes=dataset.profile.num_vertices * 16.0,
+            )
         try:
             first = True
             while not state.done:
@@ -83,6 +95,10 @@ class BspExecutionMixin(abc.ABC):
                         f"{workload.name} exceeded {self.max_supersteps} supersteps"
                     )
                 superstep_start = cluster.now
+                shuffled_before = (
+                    cluster.metrics.counter("bytes_shuffled").value
+                    if chaos is not None else 0.0
+                )
                 stats = workload.superstep(graph, state)
                 with observed_superstep(
                     cluster, stats, model=getattr(self, "trace_model", "bsp")
@@ -105,51 +121,99 @@ class BspExecutionMixin(abc.ABC):
                                 / (state.iteration * scale)
                             )
                 first = False
-                last_checkpoint = self._fault_round(
-                    dataset, workload, cluster, result, state,
-                    loop_start, last_checkpoint, superstep_start,
-                )
+                if chaos is not None:
+                    assert ctx is not None and recovery is not None
+                    ctx.iteration = state.iteration
+                    ctx.superstep_start = superstep_start
+                    ctx.superstep_shuffled = (
+                        cluster.metrics.counter("bytes_shuffled").value
+                        - shuffled_before
+                    )
+                    self._chaos_round(cluster, chaos, recovery, ctx)
         finally:
             self.scale_fixed = 1.0
             self.scale_messages = 1.0
         return state
 
-    # -- failure injection (Table 1's fault-tolerance column) --------------
+    # -- fault injection (Table 1's fault-tolerance column) -----------------
 
-    def _fault_round(
-        self, dataset, workload, cluster, result, state,
-        loop_start, last_checkpoint, superstep_start,
-    ) -> float:
-        """Write checkpoints and recover from injected failures.
+    def _chaos_round(
+        self,
+        cluster: Cluster,
+        chaos: ChaosRuntime,
+        recovery: RecoveryModel,
+        ctx: RecoveryContext,
+    ) -> None:
+        """One between-supersteps chaos round.
 
-        Returns the (possibly updated) time of the last checkpoint.
-        Does nothing when the run has no :class:`FaultPlan` — the
-        paper's failure-free experiments are untouched.
+        Ticks down effects that were active during the superstep just
+        run, writes a checkpoint if one is due, fires every event whose
+        time has come (a zero-duration ``fault`` marker span each, plus
+        a ``recover`` span wherever recovery time is charged), and syncs
+        the network-degradation factor for the next superstep. Absent a
+        plan the loop never calls this — the paper's failure-free
+        experiments are untouched.
         """
-        plan = cluster.spec.fault_plan
-        if plan is None:
-            return last_checkpoint
-
-        tolerance = getattr(self, "fault_tolerance", "checkpoint")
-        state_bytes = dataset.profile.num_vertices * 16.0
-        if (
-            tolerance == "checkpoint"
-            and state.iteration % plan.checkpoint_interval == 0
-        ):
-            cluster.hdfs_write(state_bytes)
-            last_checkpoint = cluster.now
-            result.extras["checkpoints"] = result.extras.get("checkpoints", 0) + 1
-
-        for _fail_time in plan.pop_due(cluster.now):
-            result.extras["recoveries"] = result.extras.get("recoveries", 0) + 1
-            if tolerance == "checkpoint":
-                # reload partitions + redo everything since the checkpoint
-                cluster.hdfs_read(dataset.profile.raw_size_bytes + state_bytes)
-                cluster.advance(max(0.0, cluster.now - last_checkpoint))
-            elif tolerance == "reexecution":
-                # only the dead machine's tasks of this iteration re-run
-                cluster.advance(max(0.0, cluster.now - superstep_start))
+        chaos.end_superstep()
+        recovery.maybe_checkpoint(ctx)
+        for index, event in chaos.pop_due(cluster.now):
+            machine = chaos.machine_for(index)
+            cluster.metrics.counter("faults_injected").inc()
+            with cluster.tracer.span(
+                "fault", cat="chaos", kind=event.kind, machine=machine,
+                scheduled=event.time, iteration=ctx.iteration,
+            ):
+                pass
+            if event.kind == "straggler":
+                chaos.add_straggler(machine, event.slowdown, event.supersteps)
+            elif event.kind == "netdegrade":
+                chaos.add_degradation(event.factor, event.supersteps)
+            elif event.kind == "ckptcorrupt":
+                recovery.corrupt_checkpoint(ctx, event)
             else:
-                # no fault tolerance: the query aborts and restarts
-                cluster.advance(max(0.0, cluster.now - loop_start))
-        return last_checkpoint
+                self._recover(cluster, chaos, recovery, ctx, event, machine)
+        cluster.network.degradation = chaos.bandwidth_factor()
+
+    def _recover(
+        self,
+        cluster: Cluster,
+        chaos: ChaosRuntime,
+        recovery: RecoveryModel,
+        ctx: RecoveryContext,
+        event: ChaosEvent,
+        machine: int,
+    ) -> None:
+        """Charge one event's recovery under a ``recover`` span."""
+        started = cluster.now
+        span = cluster.tracer.start(
+            "recover", cat="chaos", kind=event.kind, model=recovery.name,
+            machine=machine, iteration=ctx.iteration,
+        )
+        try:
+            if event.kind == "crash":
+                recovery.recover_crash(ctx, event, machine)
+            elif event.kind == "netsplit":
+                recovery.recover_partition(ctx, event, machine)
+            elif event.kind == "msgloss":
+                # at-least-once redelivery: the lost share of the last
+                # superstep's messages crosses the wire again
+                lost = ctx.superstep_shuffled * event.fraction
+                if lost > 0.0:
+                    cluster.shuffle(lost)
+                cluster.metrics.counter("bytes_redelivered").inc(lost)
+            elif event.kind == "blockloss":
+                # re-read the affected blocks' surviving replicas, then
+                # write the lost replica back out to local disk
+                lost = ctx.dataset.profile.raw_size_bytes * event.fraction
+                cluster.hdfs_read(lost)
+                cluster.local_disk_io(lost, write=True)
+                cluster.metrics.counter("bytes_rereplicated").inc(lost)
+            else:
+                raise ValueError(f"unroutable chaos event kind {event.kind!r}")
+        finally:
+            seconds = cluster.now - started
+            cluster.metrics.counter("recovery_seconds").inc(seconds)
+            ctx.result.extras["recoveries"] = (
+                ctx.result.extras.get("recoveries", 0) + 1
+            )
+            cluster.tracer.end(span, seconds=seconds)

@@ -78,7 +78,9 @@ class GellyEngine(BspExecutionMixin, Engine):
         if dataset.profile.num_vertices > self.max_vertices:
             raise SimulatedOOM(
                 f"{dataset.profile.num_vertices / 1e6:.0f} M vertices exceed "
-                "Flink's workable scale at this memory budget"
+                "Flink's workable scale at this memory budget",
+                # managed memory fills on the most-loaded worker first
+                machine=0,
             )
         raw = dataset.profile.raw_size_bytes * EDGE_LIST_SIZE_FACTOR
         cluster.hdfs_read(raw)

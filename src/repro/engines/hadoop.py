@@ -168,5 +168,7 @@ class HaLoopEngine(HadoopEngine):
         ):
             raise ShuffleError(
                 f"mapper output deleted before reduce at iteration "
-                f"{stats.iteration} on {cluster.spec.num_machines} machines"
+                f"{stats.iteration} on {cluster.spec.num_machines} machines",
+                # the mapper whose spill directory was reaped
+                machine=stats.iteration % cluster.num_workers,
             )

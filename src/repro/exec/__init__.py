@@ -21,8 +21,8 @@ else in the source tree, mirroring RPL001's one-wall-clock-door rule.
 """
 
 from .cache import ResultCache, cell_key, code_fingerprint, dataset_fingerprint
-from .executor import ExecutionReport, GridExecution, execute_grid
-from .plan import CellTask, plan_grid
+from .executor import ExecutionReport, GridExecution, execute_grid, execute_specs
+from .plan import CellTask, plan_grid, plan_grids
 from .progress import CellEvent, ProgressFn, print_progress
 from .retry import ExecutorError, RetryPolicy
 from .serialize import FrozenJournalObservation, payload_to_result, result_to_payload
@@ -30,6 +30,7 @@ from .serialize import FrozenJournalObservation, payload_to_result, result_to_pa
 __all__ = [
     "CellTask",
     "plan_grid",
+    "plan_grids",
     "ResultCache",
     "cell_key",
     "code_fingerprint",
@@ -37,6 +38,7 @@ __all__ = [
     "ExecutionReport",
     "GridExecution",
     "execute_grid",
+    "execute_specs",
     "CellEvent",
     "ProgressFn",
     "print_progress",

@@ -7,9 +7,10 @@ A cell's key is a SHA-256 over everything that can change its result:
   edge array, so changing a generator seed changes the key even though
   the dataset keeps its name), SSSP source, and paper profile, and
 * the simulation code version: a digest of every source file in the
-  result-determining packages (engines, workloads, cluster, core,
-  datasets, graph, partitioning, obs). Editing a cost model invalidates
-  every cached cell; editing the CLI or this executor does not.
+  result-determining packages (engines, workloads, cluster, chaos,
+  core, datasets, graph, partitioning, obs). Editing a cost model
+  invalidates every cached cell; editing the CLI or this executor does
+  not.
 
 Entries are one JSON file each under ``<cache-dir>/<k[:2]>/<k>.json``,
 written via temp-file + atomic rename so a killed run never leaves a
@@ -34,7 +35,7 @@ __all__ = ["ResultCache", "cell_key", "code_fingerprint", "dataset_fingerprint"]
 
 #: repro subpackages whose source determines simulated results
 _RESULT_PACKAGES = (
-    "cluster", "core", "datasets", "engines", "graph", "obs",
+    "chaos", "cluster", "core", "datasets", "engines", "graph", "obs",
     "partitioning", "workloads",
 )
 
@@ -98,6 +99,9 @@ def cell_key(
         "cluster_size": task.cluster_size,
         "dataset": dataset_fingerprint(dataset),
         "code": code_version,
+        # the full fault schedule, seed included: a different chaos plan
+        # is a different cell
+        "chaos": None if task.chaos is None else task.chaos.to_dict(),
     }).encode("utf-8")).hexdigest()
 
 

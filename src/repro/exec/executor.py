@@ -32,16 +32,16 @@ from __future__ import annotations
 import os
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..datasets.registry import Dataset, load_dataset
 from ..engines.base import RunResult
 from ..obs import Journal, RunObservation, Tracer
 from ..obs.hostclock import host_now, host_sleep
 from .cache import ResultCache, cell_key
-from .plan import CellTask, plan_grid
+from .plan import CellTask, plan_grids
 from .progress import (
     SOURCE_CACHE,
     SOURCE_INLINE,
@@ -56,7 +56,7 @@ from .workers import _maybe_inject_fault, run_cell_task
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.runner import ExperimentSpec, ResultGrid
 
-__all__ = ["ExecutionReport", "GridExecution", "execute_grid"]
+__all__ = ["ExecutionReport", "GridExecution", "execute_grid", "execute_specs"]
 
 
 @dataclass
@@ -92,6 +92,10 @@ class GridExecution:
     grid: "ResultGrid"
     report: ExecutionReport
     observation: RunObservation
+    #: every cell's result in plan order — unlike ``grid`` (keyed by
+    #: coordinates) this keeps cells distinct when several specs run the
+    #: same coordinates under different chaos plans
+    results: List[RunResult] = field(default_factory=list)
 
     def scheduler_journal(self) -> Journal:
         """The executor's host-clock journal (spans + cache counters)."""
@@ -111,14 +115,14 @@ class _GridRun:
 
     def __init__(
         self,
-        spec: "ExperimentSpec",
+        specs: Sequence["ExperimentSpec"],
         jobs: int,
         cache: Optional[ResultCache],
         resume: bool,
         progress: Optional[ProgressFn],
         retry: RetryPolicy,
     ) -> None:
-        self.spec = spec
+        self.specs = list(specs)
         self.jobs = jobs
         self.cache = cache
         self.resume = resume
@@ -184,7 +188,7 @@ class _GridRun:
     def plan(self) -> List[Tuple[CellTask, Optional[str]]]:
         """Expand the spec; compute cache keys; serve the cache hits."""
         with self.obs.tracer.span("plan", cat="scheduler") as span:
-            self.tasks = plan_grid(self.spec)
+            self.tasks = plan_grids(self.specs)
             for task in self.tasks:
                 ds_key = (task.dataset, task.size)
                 if ds_key not in self.datasets:
@@ -220,7 +224,8 @@ class _GridRun:
             try:
                 _maybe_inject_fault(task.payload(attempt))
                 result = run_cell(
-                    task.system, task.workload, dataset, task.cluster_size
+                    task.system, task.workload, dataset, task.cluster_size,
+                    chaos=task.chaos,
                 )
             except (KeyboardInterrupt, SystemExit):
                 raise
@@ -301,8 +306,9 @@ class _GridRun:
         from ..core.runner import ResultGrid
 
         grid = ResultGrid()
-        for task in self.tasks:
-            grid.put(self.results[task.index])
+        ordered = [self.results[task.index] for task in self.tasks]
+        for result in ordered:
+            grid.put(result)
         elapsed = host_now() - self.start
         self.obs.metrics.gauge("exec.jobs").set(self.jobs)
         report = ExecutionReport(
@@ -324,7 +330,9 @@ class _GridRun:
             "resume": report.resumed,
             "cache": self.cache is not None,
         }
-        return GridExecution(grid=grid, report=report, observation=self.obs)
+        return GridExecution(
+            grid=grid, report=report, observation=self.obs, results=ordered
+        )
 
 
 def execute_grid(
@@ -336,7 +344,7 @@ def execute_grid(
     progress: Optional[ProgressFn] = None,
     retry: Optional[RetryPolicy] = None,
 ) -> GridExecution:
-    """Run a whole experiment grid: parallel, cached, resumable.
+    """Run one experiment grid: parallel, cached, resumable.
 
     Parameters
     ----------
@@ -358,6 +366,31 @@ def execute_grid(
     retry:
         Bounded backoff policy for crashed workers.
     """
+    return execute_specs(
+        [spec], jobs=jobs, cache=cache, resume=resume, progress=progress,
+        retry=retry,
+    )
+
+
+def execute_specs(
+    specs: Sequence["ExperimentSpec"],
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[None, str, Path, ResultCache] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> GridExecution:
+    """Run several specs as one pooled, cached execution.
+
+    The plan concatenates each spec's cells in caller order; everything
+    else — cache scan, fan-out, retry, plan-order assembly — behaves
+    exactly like :func:`execute_grid`. This is how the chaos experiment
+    runs the same (system, workload, dataset, size) coordinates under
+    many fault plans at once: consume ``GridExecution.results`` (plan
+    order) rather than the coordinate-keyed ``grid``, where cells that
+    share coordinates overwrite each other.
+    """
     resolved_cache = _resolve_cache(cache)
     if resume:
         if resolved_cache is None:
@@ -368,7 +401,7 @@ def execute_grid(
                 f"{resolved_cache.cache_dir} does not exist"
             )
     run = _GridRun(
-        spec=spec,
+        specs=specs,
         jobs=max(1, jobs if jobs is not None else (os.cpu_count() or 1)),
         cache=resolved_cache,
         resume=resume,

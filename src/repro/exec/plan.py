@@ -18,14 +18,15 @@ insertion order regardless of completion order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..chaos.plan import ChaosPlan
 from ..datasets.registry import DATASET_NAMES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.runner import ExperimentSpec
 
-__all__ = ["CellTask", "plan_grid"]
+__all__ = ["CellTask", "plan_grid", "plan_grids"]
 
 
 @dataclass(frozen=True)
@@ -38,12 +39,15 @@ class CellTask:
     dataset: str
     size: str
     cluster_size: int
+    #: fault schedule this cell runs under (None = failure-free)
+    chaos: Optional[ChaosPlan] = None
 
     @property
     def cell_id(self) -> str:
         """Human-readable cell address used in errors and progress."""
-        return (f"{self.system}:{self.workload}:{self.dataset}/"
+        base = (f"{self.system}:{self.workload}:{self.dataset}/"
                 f"{self.size}@{self.cluster_size}")
+        return base if self.chaos is None else f"{base}+{self.chaos.label()}"
 
     @property
     def portable(self) -> bool:
@@ -63,23 +67,36 @@ class CellTask:
             "dataset": self.dataset,
             "size": self.size,
             "cluster_size": self.cluster_size,
+            "chaos": None if self.chaos is None else self.chaos.to_dict(),
             "attempt": attempt,
         }
 
 
 def plan_grid(spec: "ExperimentSpec") -> List[CellTask]:
     """Expand a spec into its cell tasks, in the sequential loop order."""
+    return plan_grids([spec])
+
+
+def plan_grids(specs: Sequence["ExperimentSpec"]) -> List[CellTask]:
+    """Expand several specs into one plan with a running task index.
+
+    Specs stay in caller order, each expanded in the sequential loop
+    order — this is how chaos experiments schedule the same coordinates
+    under many different fault plans in a single execution.
+    """
     tasks: List[CellTask] = []
-    for dataset_name in spec.datasets:
-        for workload_name in spec.workloads:
-            for cluster_size in spec.cluster_sizes:
-                for system in spec.systems:
-                    tasks.append(CellTask(
-                        index=len(tasks),
-                        system=system,
-                        workload=workload_name,
-                        dataset=dataset_name,
-                        size=spec.dataset_size,
-                        cluster_size=cluster_size,
-                    ))
+    for spec in specs:
+        for dataset_name in spec.datasets:
+            for workload_name in spec.workloads:
+                for cluster_size in spec.cluster_sizes:
+                    for system in spec.systems:
+                        tasks.append(CellTask(
+                            index=len(tasks),
+                            system=system,
+                            workload=workload_name,
+                            dataset=dataset_name,
+                            size=spec.dataset_size,
+                            cluster_size=cluster_size,
+                            chaos=getattr(spec, "chaos", None),
+                        ))
     return tasks

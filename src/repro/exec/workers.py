@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 
+from ..chaos.plan import ChaosPlan
 from ..core.runner import run_cell
 from ..datasets.registry import load_dataset
 from .serialize import result_to_payload
@@ -49,7 +50,9 @@ def run_cell_task(task: dict) -> dict:
     """Execute one planned cell; returns the serialized result payload."""
     _maybe_inject_fault(task)
     dataset = load_dataset(task["dataset"], task["size"])
+    chaos_dict = task.get("chaos")
     result = run_cell(
-        task["system"], task["workload"], dataset, task["cluster_size"]
+        task["system"], task["workload"], dataset, task["cluster_size"],
+        chaos=None if chaos_dict is None else ChaosPlan.from_dict(chaos_dict),
     )
     return result_to_payload(result)

@@ -14,7 +14,7 @@ Usage::
     python -m repro.lint --format json src # machine-readable report
     repro lint                             # same, via the main CLI
 
-Each rule has a stable code (RPL001..RPL009); a finding on a line is
+Each rule has a stable code (RPL001..RPL010); a finding on a line is
 suppressed by a trailing ``# noqa: RPLxxx`` comment (bare ``# noqa``
 suppresses every code on that line).
 """

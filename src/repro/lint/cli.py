@@ -20,7 +20,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Domain-aware static analysis for the simulation's model "
-            "contracts (rules RPL001-RPL009)."
+            "contracts (rules RPL001-RPL010)."
         ),
     )
     parser.add_argument(

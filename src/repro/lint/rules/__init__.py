@@ -10,6 +10,7 @@ from .rpl006_metadata import EngineMetadataRule
 from .rpl007_cost_accounting import CostAccountingRule
 from .rpl008_set_iteration import SetIterationRule
 from .rpl009_concurrency import ConcurrencyRule
+from .rpl010_recovery_sites import RecoverySiteRule
 
 __all__ = [
     "Rule",
@@ -29,6 +30,7 @@ ALL_RULES = (
     CostAccountingRule(),
     SetIterationRule(),
     ConcurrencyRule(),
+    RecoverySiteRule(),
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -129,13 +129,25 @@ class Tracer:
 
         A simulated failure (OOM, timeout, ...) unwinding through the
         span records the exception type in the span's ``error`` attr, so
-        journals show exactly where a run died.
+        journals show exactly where a run died. Failures that carry
+        provenance — a ``kind`` (the paper's OOM/TO/MPI/SHFL code) and a
+        ``machine`` — land as span attrs too; ``machine`` is ``-1`` for
+        cluster-wide failures. (Duck-typed: obs cannot import
+        :class:`~repro.cluster.failures.SimulatedFailure` without a
+        layering cycle.)
         """
         opened = self.start(name, cat=cat, **attrs)
         try:
             yield opened
         except BaseException as exc:
             opened.attrs.setdefault("error", type(exc).__name__)
+            kind = getattr(exc, "kind", None)
+            if kind is not None:
+                opened.attrs.setdefault("kind", str(kind))
+                machine = getattr(exc, "machine", None)
+                opened.attrs.setdefault(
+                    "machine", int(machine) if machine is not None else -1
+                )
             raise
         finally:
             self.end(opened)

@@ -45,6 +45,28 @@ class TestFaultPlan:
         assert plan.pop_due(10.0) == [3.0, 6.0, 9.0]
 
 
+class TestPlanReuse:
+    """Regression: a plan is a spec, not a cursor. Before the chaos
+    rework, runs drained FaultPlan._pending in place, so the second
+    cell sharing a spec saw no faults at all."""
+
+    def test_same_plan_twice_injects_both_times(self, twitter):
+        clean = run("BV", "pagerank", twitter)
+        plan = FaultPlan(fail_times=(clean.total_time * 0.5,))
+        first = run("BV", "pagerank", twitter, fault_plan=plan)
+        second = run("BV", "pagerank", twitter, fault_plan=plan)
+        assert first.extras["recoveries"] == 1
+        assert second.extras["recoveries"] == 1
+        assert second.total_time == first.total_time
+        assert second.total_time > clean.total_time
+
+    def test_runs_leave_the_legacy_cursor_armed(self, twitter):
+        plan = FaultPlan(fail_times=(1.0,))
+        run("BV", "pagerank", twitter, fault_plan=plan)
+        # the hand-driving API still sees every scheduled time
+        assert plan.pending == (1.0,)
+
+
 class TestRecoverySemantics:
     def test_no_plan_means_no_cost(self, twitter):
         clean = run("BV", "pagerank", twitter)

@@ -32,9 +32,9 @@ def run(snippet, select=None):
 
 # -- registry ---------------------------------------------------------------
 
-def test_registry_covers_rpl001_through_rpl009():
-    assert sorted(RULES_BY_CODE) == [f"RPL00{i}" for i in range(1, 10)]
-    assert len(ALL_RULES) == 9
+def test_registry_covers_rpl001_through_rpl010():
+    assert sorted(RULES_BY_CODE) == [f"RPL{i:03d}" for i in range(1, 11)]
+    assert len(ALL_RULES) == 10
     for rule in ALL_RULES:
         assert rule.name and rule.rationale
 
@@ -448,6 +448,103 @@ def test_rpl009_src_repro_has_one_concurrency_door():
     # lives under repro/exec/ (lint_paths on the real tree proves it)
     violations = lint_paths([SRC_REPRO], rules=select_rules(["RPL009"]))
     assert violations == []
+
+
+# -- RPL010 recovery sites --------------------------------------------------
+
+def test_rpl010_flags_simulated_failure_catch_outside_recovery_sites():
+    found = lint_source(
+        textwrap.dedent(
+            """
+            def sneaky(engine, dataset, workload, spec):
+                try:
+                    return engine.run(dataset, workload, spec)
+                except SimulatedFailure:
+                    return None
+            """
+        ),
+        path="src/repro/core/runner.py",
+        rules=select_rules(["RPL010"]),
+    )
+    assert codes(found) == ["RPL010"]
+    assert "recovery sites" in found[0].message
+
+
+def test_rpl010_flags_failure_subtypes_and_dotted_names():
+    found = lint_source(
+        textwrap.dedent(
+            """
+            def absorb(compute):
+                try:
+                    compute()
+                except (SimulatedOOM, failures.SimulatedTimeout):
+                    pass
+                except MPIOverflowError:
+                    pass
+            """
+        ),
+        path="src/repro/workloads/pagerank.py",
+        rules=select_rules(["RPL010"]),
+    )
+    assert codes(found) == ["RPL010", "RPL010"]
+    assert "SimulatedOOM, SimulatedTimeout" in found[0].message
+
+
+def test_rpl010_flags_swallowed_broad_except_in_guarded_packages():
+    found = lint_source(
+        textwrap.dedent(
+            """
+            def helper(compute):
+                try:
+                    return compute()
+                except Exception:
+                    return None
+            """
+        ),
+        path="src/repro/engines/bsp.py",
+        rules=select_rules(["RPL010"]),
+    )
+    assert codes(found) == ["RPL010"]
+    assert "recovery cost" in found[0].message
+
+
+def test_rpl010_allowlists_the_sanctioned_recovery_sites():
+    snippet = textwrap.dedent(
+        """
+        def run(self, dataset, workload, spec):
+            try:
+                return self._execute(dataset, workload, spec)
+            except SimulatedFailure as failure:
+                return self._failure_cell(failure)
+        """
+    )
+    for path in ("src/repro/engines/base.py", "src/repro/exec/executor.py"):
+        assert lint_source(
+            snippet, path=path, rules=select_rules(["RPL010"])
+        ) == []
+
+
+def test_rpl010_clean_specific_or_reraising_handlers_elsewhere():
+    found = lint_source(
+        textwrap.dedent(
+            """
+            def parse(text):
+                try:
+                    return int(text)
+                except ValueError:
+                    return 0
+
+            def guard(compute):
+                try:
+                    return compute()
+                except Exception:
+                    raise
+            """
+        ),
+        path="src/repro/exec/workers.py",
+        rules=select_rules(["RPL010"]),
+    )
+    assert found == []
 
 
 # -- suppression and parse errors -------------------------------------------

@@ -84,6 +84,36 @@ class TestSpans:
         errors = [s.attrs.get("error") for s in tracer.finished()]
         assert errors == ["ValueError", "ValueError"]
 
+    def test_error_span_carries_failure_provenance(self):
+        # satellite contract: SimulatedFailure-shaped exceptions stamp
+        # kind and machine onto every span they unwind through
+        class FakeFailure(RuntimeError):
+            kind = "OOM"
+            machine = 3
+
+        tracer = Tracer()
+        with pytest.raises(FakeFailure):
+            with tracer.span("run"):
+                with tracer.span("execute"):
+                    raise FakeFailure("boom")
+        for span in tracer.finished():
+            assert span.attrs["error"] == "FakeFailure"
+            assert span.attrs["kind"] == "OOM"
+            assert span.attrs["machine"] == 3
+
+    def test_error_span_machine_defaults_to_cluster_wide(self):
+        class ClusterWide(RuntimeError):
+            kind = "TO"
+            machine = None
+
+        tracer = Tracer()
+        with pytest.raises(ClusterWide):
+            with tracer.span("run"):
+                raise ClusterWide("timeout")
+        (span,) = tracer.finished()
+        assert span.attrs["kind"] == "TO"
+        assert span.attrs["machine"] == -1
+
     def test_simulated_clock_timestamps(self):
         state, advance = _manual_clock()
         tracer = Tracer(now_fn=lambda: state["t"])
@@ -222,6 +252,19 @@ class TestJournal:
         failed = result.observation.journal()
         assert failed.meta["status"] == str(result.failure)
         assert any("error" in s.get("args", {}) for s in failed.spans())
+
+    def test_failure_spans_carry_kind_and_machine(self, small_wrn):
+        # every SimulatedFailure raised by an engine is a typed, placed
+        # event: the error spans name the failure kind and the machine
+        # it struck (-1 = cluster-wide)
+        result = run_cell("GL-S-R-I", "pagerank", small_wrn, 16)
+        assert not result.ok
+        error_spans = [s for s in result.observation.journal().spans()
+                       if "error" in s.get("args", {})]
+        assert error_spans
+        for span in error_spans:
+            assert span["args"]["kind"] == str(result.failure)
+            assert isinstance(span["args"]["machine"], int)
 
 
 class TestExport:
