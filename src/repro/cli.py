@@ -166,12 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="how many span groups the summary ranks (default 5)")
 
     p = sub.add_parser(
-        "lint", help="static analysis of the model contracts (RPL001-RPL010)"
+        "lint",
+        help="static analysis of the model contracts "
+             "(RPL001-RPL010; --deep adds RPL011-RPL014)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
-    p.add_argument("--format", choices=("text", "json"), default="text")
-    p.add_argument("--select", help="comma-separated rule codes (default: all)")
+    p.add_argument("--format", choices=("text", "json", "github"),
+                   default="text")
+    p.add_argument("--select",
+                   help="comma-separated rule codes or prefixes to run")
+    p.add_argument("--ignore",
+                   help="comma-separated rule codes or prefixes to skip")
+    p.add_argument("--deep", action="store_true",
+                   help="also run the whole-program pass (RPL011-RPL014)")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="suppress findings recorded in this baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline with every current finding")
+    p.add_argument("--ast-cache", metavar="FILE",
+                   help="parsed-AST pickle shared between lint steps")
     p.add_argument("--list-rules", action="store_true",
                    help="print every rule with its rationale and exit")
 
@@ -502,6 +516,11 @@ def _cmd_lint(args) -> int:
         fmt=args.format,
         select=args.select,
         list_rules=args.list_rules,
+        ignore=args.ignore,
+        deep=args.deep,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+        ast_cache=args.ast_cache,
     )
 
 

@@ -23,7 +23,7 @@ import abc
 from dataclasses import dataclass, field
 from functools import lru_cache
 from types import MappingProxyType
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -50,11 +50,57 @@ __all__ = [
     "iteration_scale",
     "WORKLOAD_NAMES",
     "EXTENSION_WORKLOADS",
+    "MODEL_PRIMITIVES",
 ]
 
 WORKLOAD_NAMES = ("pagerank", "wcc", "sssp", "khop")
 #: extension workloads runnable on every engine but outside the paper's grids
 EXTENSION_WORKLOADS = ("cdlp",)
+
+#: computation model → the Cluster primitives that model may charge.
+#: RPL011 (the deep lint pass) statically verifies that every primitive
+#: call site reachable from an engine's ``run`` is covered by the
+#: engine's declared ``model_primitives``, and that the declaration
+#: stays inside this table for the engine's ``trace_model``. Keep the
+#: values literal frozensets — the linter reads this dict from the AST
+#: without importing the module. The table encodes Section 3's model
+#: boundaries: BSP/GAS/dataflow communicate through synchronized
+#: shuffles and persist via HDFS; block-centric additionally gathers
+#: block state to the master (Blogel's global computation); MapReduce
+#: spills iterations through local disk and HDFS round-trips;
+#: relational (Vertica) scans local storage and shuffles join traffic,
+#: never HDFS; the single-thread baseline touches no distributed
+#: communication primitive at all.
+MODEL_PRIMITIVES: Mapping[str, FrozenSet[str]] = {
+    "bsp": frozenset({
+        "advance", "parallel_compute", "uniform_compute", "shuffle",
+        "barrier", "hdfs_read", "hdfs_write", "sample_memory",
+    }),
+    "gas": frozenset({
+        "advance", "parallel_compute", "uniform_compute", "shuffle",
+        "barrier", "hdfs_read", "hdfs_write", "sample_memory",
+    }),
+    "dataflow": frozenset({
+        "advance", "parallel_compute", "uniform_compute", "shuffle",
+        "barrier", "hdfs_read", "hdfs_write", "sample_memory",
+    }),
+    "block-centric": frozenset({
+        "advance", "parallel_compute", "uniform_compute", "shuffle",
+        "barrier", "hdfs_read", "hdfs_write", "sample_memory",
+        "gather_to_master",
+    }),
+    "mapreduce": frozenset({
+        "advance", "parallel_compute", "uniform_compute", "shuffle",
+        "hdfs_read", "hdfs_write", "local_disk_io", "sample_memory",
+    }),
+    "relational": frozenset({
+        "advance", "parallel_compute", "uniform_compute", "shuffle",
+        "local_disk_io", "sample_memory",
+    }),
+    "single-thread": frozenset({
+        "advance", "uniform_compute", "local_disk_io", "sample_memory",
+    }),
+}
 
 
 @dataclass
@@ -308,6 +354,12 @@ class Engine(abc.ABC):
     #: traces show each paradigm's characteristic shape ("bsp", "gas",
     #: "mapreduce", "block-centric", "dataflow", ...)
     trace_model: str = "bsp"
+    #: the Cluster primitives this engine's call graph may reach — every
+    #: concrete engine must declare this as a literal frozenset, and it
+    #: must be a subset of ``MODEL_PRIMITIVES[trace_model]``; RPL011
+    #: verifies both statically (no value here: forgetting the
+    #: declaration is itself a finding, not an empty contract)
+    model_primitives: FrozenSet[str]
 
     # -- template ---------------------------------------------------------
 

@@ -52,6 +52,12 @@ class BlogelVEngine(BspExecutionMixin, Engine):
     display_name = "Blogel-V"
     language = "C++"
     trace_model = "bsp"           # vertex-centric supersteps over MPI
+    #: RPL011 contract: every primitive reachable from run() (see
+    #: MODEL_PRIMITIVES in engines/base.py)
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle",
+        "hdfs_read", "hdfs_write", "sample_memory",
+    })
     input_format = "adj-long"
     uses_all_machines = True
     features = MappingProxyType({
@@ -207,6 +213,12 @@ class BlogelBEngine(BspExecutionMixin, Engine):
     display_name = "Blogel-B"
     language = "C++"
     trace_model = "block-centric"  # serial-in-block + cross-block rounds
+    #: RPL011 contract: Blogel-B additionally gathers Voronoi block
+    #: state to the master during partitioned loading
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle", "gather_to_master",
+        "hdfs_read", "hdfs_write", "sample_memory",
+    })
     input_format = "adj-long"
     uses_all_machines = True
     features = MappingProxyType({

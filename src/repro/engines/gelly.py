@@ -44,6 +44,11 @@ class GellyEngine(BspExecutionMixin, Engine):
     display_name = "Flink Gelly"
     language = "Java/Scala"
     trace_model = "dataflow"      # BSP iterations lowered onto Flink dataflow
+    #: RPL011 contract: every primitive reachable from run()
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle",
+        "hdfs_read", "hdfs_write", "sample_memory",
+    })
     input_format = "edge"
     uses_all_machines = False   # one machine hosts the JobManager
     features = MappingProxyType({

@@ -35,6 +35,12 @@ class GiraphPlusPlusEngine(BlogelBEngine):
     display_name = "Giraph++"
     language = "Java"
     trace_model = "block-centric"  # Blogel-B's shape at JVM prices
+    #: RPL011 contract: narrower than Blogel-B — the Hadoop-based
+    #: loader never gathers block state to the master
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle",
+        "hdfs_read", "hdfs_write", "sample_memory",
+    })
     input_format = "adj"
     uses_all_machines = False    # Hadoop mappers; master excluded
     features = MappingProxyType({

@@ -46,6 +46,11 @@ class GraphLabEngine(BspExecutionMixin, Engine):
     display_name = "GraphLab"
     language = "C++"
     trace_model = "gas"           # gather-apply-scatter over a vertex cut
+    #: RPL011 contract: every primitive reachable from run()
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle",
+        "hdfs_read", "hdfs_write", "sample_memory",
+    })
     input_format = "adj"
     uses_all_machines = True    # MPI rank on every machine
     features = MappingProxyType({

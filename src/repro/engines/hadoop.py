@@ -41,6 +41,12 @@ class HadoopEngine(BspExecutionMixin, Engine):
     uses_all_machines = False
     fault_tolerance = "reexecution"
     trace_model = "mapreduce"     # each superstep is a full MR job
+    #: RPL011 contract: all communication through shuffle + HDFS
+    #: round-trips; no direct message passing
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle",
+        "hdfs_read", "hdfs_write", "sample_memory",
+    })
     features = MappingProxyType({
         "memory_disk": "Disk",
         "paradigm": "BSP (MapReduce)",
@@ -140,6 +146,12 @@ class HaLoopEngine(HadoopEngine):
 
     key = "HL"
     display_name = "HaLoop"
+    #: RPL011 contract: Hadoop's set plus the loop-aware local-disk
+    #: cache that skips the invariant-data HDFS re-read
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle",
+        "hdfs_read", "hdfs_write", "local_disk_io", "sample_memory",
+    })
     features = MappingProxyType(
         dict(HadoopEngine.features, paradigm="BSP-extension (MapReduce)")
     )

@@ -34,6 +34,12 @@ class VerticaEngine(BspExecutionMixin, Engine):
     language = "SQL"
     input_format = "edge"
     trace_model = "relational"    # join + aggregate + temp-table swap
+    #: RPL011 contract: table scans hit local storage and joins shuffle
+    #: segment traffic — a relational engine never touches HDFS
+    model_primitives = frozenset({
+        "advance", "uniform_compute", "shuffle",
+        "local_disk_io", "sample_memory",
+    })
     uses_all_machines = True    # shared-nothing database on every node
     fault_tolerance = "none"
     features = MappingProxyType({
@@ -90,7 +96,10 @@ class VerticaEngine(BspExecutionMixin, Engine):
             system_fraction=0.1,
             iowait_seconds=scan_time,
         )
-        cluster.tracker.record_disk(read=scan_bytes)
+        # the scan's seconds are charged above as iowait; its bytes get
+        # their own span so trace exports see the disk-bound signature
+        with cluster.tracer.span("table-scan", cat="cluster", bytes=scan_bytes):
+            cluster.tracker.record_disk(read=scan_bytes)
 
         # The distributed self-join reshuffles the joined rows; larger
         # clusters shuffle a larger share and pay more connections.

@@ -34,10 +34,12 @@ __all__ = [
     "Violation",
     "SourceModule",
     "lint_source",
+    "lint_module",
     "lint_file",
     "lint_paths",
     "iter_python_files",
     "select_rules",
+    "expand_selectors",
     "PARSE_ERROR_CODE",
 ]
 
@@ -61,6 +63,30 @@ def select_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
     return rules
 
 
+def expand_selectors(
+    selectors: Iterable[str], codes: Iterable[str]
+) -> List[str]:
+    """ruff-style prefix matching: ``RPL01`` selects RPL010..RPL014.
+
+    Returns the sorted matching subset of ``codes``; raises KeyError for
+    a selector that matches nothing (the CLI turns that into exit 2).
+    """
+    available = sorted(set(codes))
+    matched = set()
+    for selector in selectors:
+        prefix = selector.strip().upper()
+        if not prefix:
+            continue
+        hits = [code for code in available if code.startswith(prefix)]
+        if not hits:
+            raise KeyError(
+                f"no rule code matches selector {prefix!r}; available: "
+                f"{available}"
+            )
+        matched.update(hits)
+    return sorted(matched)
+
+
 def lint_source(
     text: str,
     path: str = "<string>",
@@ -81,6 +107,26 @@ def lint_source(
                 col=(exc.offset or 1) - 1,
             )
         ]
+    except ValueError as exc:
+        # python 3.9 raises bare ValueError for e.g. null bytes
+        return [
+            Violation(
+                code=PARSE_ERROR_CODE,
+                message=f"could not parse file: {exc}",
+                path=path,
+                line=1,
+                col=0,
+            )
+        ]
+    return lint_module(module, rules)
+
+
+def lint_module(
+    module: SourceModule, rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Run shallow rules over an already-parsed module (noqa-filtered)."""
+    if rules is None:
+        rules = ALL_RULES
     violations = []
     for rule in rules:
         for violation in rule.check(module):
@@ -91,9 +137,24 @@ def lint_source(
 
 
 def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
-    """Lint one file on disk."""
-    with open(path, "r", encoding="utf-8") as fh:
-        text = fh.read()
+    """Lint one file on disk.
+
+    A file that is not valid UTF-8 is a diagnostic (RPL000), not a
+    traceback — the CLI must keep walking the rest of the tree.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except UnicodeDecodeError as exc:
+        return [
+            Violation(
+                code=PARSE_ERROR_CODE,
+                message=f"could not decode file as UTF-8: {exc.reason}",
+                path=path,
+                line=1,
+                col=0,
+            )
+        ]
     return lint_source(text, path=path, rules=rules)
 
 

@@ -1,16 +1,30 @@
 """Command-line entry point: ``python -m repro.lint [paths...]``.
 
 Exit codes follow linter convention: 0 clean, 1 findings, 2 bad usage.
+The shallow pass (RPL001-RPL010) always runs; ``--deep`` additionally
+builds the whole-program model and runs RPL011-RPL014. ``--select`` /
+``--ignore`` filter both passes with ruff-style prefix matching,
+``--baseline`` suppresses previously recorded findings, and
+``--ast-cache`` shares parsed ASTs between the shallow and deep CI
+steps.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from . import iter_python_files, lint_file, select_rules
-from .reporters import render_json, render_rule_list, render_text
+from . import (
+    PARSE_ERROR_CODE,
+    RULES_BY_CODE,
+    Violation,
+    expand_selectors,
+    iter_python_files,
+    lint_module,
+)
+from .reporters import RENDERERS, render_rule_list
+from .source import SourceModule
 
 __all__ = ["main", "build_parser", "run_lint"]
 
@@ -20,7 +34,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Domain-aware static analysis for the simulation's model "
-            "contracts (rules RPL001-RPL010)."
+            "contracts (shallow rules RPL001-RPL010; --deep adds the "
+            "whole-program rules RPL011-RPL014)."
         ),
     )
     parser.add_argument(
@@ -31,13 +46,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--select",
-        help="comma-separated rule codes to run (default: all)",
+        help=(
+            "comma-separated rule codes or prefixes to run "
+            "(e.g. RPL001,RPL01; default: all active rules)"
+        ),
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated rule codes or prefixes to skip",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help=(
+            "also run the whole-program pass (RPL011-RPL014): call-graph "
+            "model conformance, determinism taint, span coverage, chaos "
+            "safety"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file (lint-baseline.json): recorded findings are "
+            "suppressed so CI fails only on new ones"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with every current finding and exit 0",
+    )
+    parser.add_argument(
+        "--ast-cache",
+        metavar="FILE",
+        help=(
+            "pickle of parsed ASTs, reused between the shallow and deep "
+            "steps (stale entries re-parse automatically)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -47,33 +99,141 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _active_rules(
+    select: Optional[str], ignore: Optional[str], deep: bool
+) -> Dict[str, object]:
+    """Codes → rule instances after --select/--ignore filtering.
+
+    Raises KeyError (exit 2 upstream) for a selector matching nothing;
+    a selector that only matches deep codes without ``--deep`` gets a
+    hint to pass the flag.
+    """
+    from .deep import DEEP_RULES_BY_CODE
+
+    active: Dict[str, object] = dict(RULES_BY_CODE)
+    if deep:
+        active.update(DEEP_RULES_BY_CODE)
+    if select:
+        selectors = [s for s in select.split(",") if s.strip()]
+        try:
+            picked = expand_selectors(selectors, active)
+        except KeyError:
+            if not deep:
+                # distinguish "unknown code" from "deep code without --deep"
+                everything = dict(active)
+                everything.update(DEEP_RULES_BY_CODE)
+                picked = expand_selectors(selectors, everything)
+                raise KeyError(
+                    f"selector {select!r} only matches deep rules "
+                    f"({', '.join(p for p in picked if p not in active)}) "
+                    f"— pass --deep to run them"
+                )
+            raise
+        active = {code: active[code] for code in picked}
+    if ignore:
+        ignored = expand_selectors(
+            [s for s in ignore.split(",") if s.strip()],
+            list(RULES_BY_CODE) + list(DEEP_RULES_BY_CODE),
+        )
+        active = {c: r for c, r in active.items() if c not in ignored}
+    return active
+
+
 def run_lint(
     paths: List[str],
     fmt: str = "text",
     select: Optional[str] = None,
     list_rules: bool = False,
+    ignore: Optional[str] = None,
+    deep: bool = False,
+    baseline: Optional[str] = None,
+    update_baseline: bool = False,
+    ast_cache: Optional[str] = None,
 ) -> int:
     """Run the analyzer; prints a report and returns the exit code."""
+    from .deep import DEEP_RULES_BY_CODE, deep_lint_modules
+    from .deep.astcache import AstCache
+    from .deep.baseline import filter_baselined, load_baseline, write_baseline
+
     if list_rules:
         print(render_rule_list())
         return 0
+    if update_baseline and not baseline:
+        print("--update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
     try:
-        rules = select_rules(select.split(",") if select else None)
+        active = _active_rules(select, ignore, deep)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    shallow_rules = [r for c, r in sorted(active.items()) if c in RULES_BY_CODE]
+    deep_rules = [
+        r for c, r in sorted(active.items()) if c in DEEP_RULES_BY_CODE
+    ]
     files = iter_python_files(paths)
     if not files:
         print(f"no Python files under {paths}", file=sys.stderr)
         return 2
-    violations = []
+
+    cache = AstCache(ast_cache)
+    sources: Dict[str, SourceModule] = {}
+    violations: List[Violation] = []
     for path in files:
         try:
-            violations.extend(lint_file(path, rules=rules))
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
         except OSError as exc:
             print(f"cannot read {path}: {exc.strerror}", file=sys.stderr)
             return 2
-    render = render_json if fmt == "json" else render_text
+        except UnicodeDecodeError as exc:
+            violations.append(Violation(
+                code=PARSE_ERROR_CODE,
+                message=f"could not decode file as UTF-8: {exc.reason}",
+                path=path,
+                line=1,
+                col=0,
+            ))
+            continue
+        module = cache.get(path, text)
+        if module is None:
+            try:
+                module = SourceModule.parse(text, path=path)
+            except SyntaxError as exc:
+                violations.append(Violation(
+                    code=PARSE_ERROR_CODE,
+                    message=f"could not parse file: {exc.msg}",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                ))
+                continue
+            except ValueError as exc:
+                # python 3.9 raises bare ValueError for e.g. null bytes
+                violations.append(Violation(
+                    code=PARSE_ERROR_CODE,
+                    message=f"could not parse file: {exc}",
+                    path=path,
+                    line=1,
+                    col=0,
+                ))
+                continue
+            cache.put(path, text, module)
+        sources[path] = module
+        violations.extend(lint_module(module, shallow_rules))
+    cache.save()
+
+    if deep and deep_rules:
+        violations.extend(deep_lint_modules(sources, rules=deep_rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+
+    if update_baseline:
+        count = write_baseline(baseline, violations)
+        print(f"baseline updated: {count} fingerprint(s) -> {baseline}")
+        return 0
+    if baseline:
+        violations = filter_baselined(violations, load_baseline(baseline))
+
+    render = RENDERERS[fmt]
     print(render(violations, files_checked=len(files)))
     return 1 if violations else 0
 
@@ -86,6 +246,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             fmt=args.format,
             select=args.select,
             list_rules=args.list_rules,
+            ignore=args.ignore,
+            deep=args.deep,
+            baseline=args.baseline,
+            update_baseline=args.update_baseline,
+            ast_cache=args.ast_cache,
         )
     except BrokenPipeError:
         # report piped into head/less that exited early; not an error

@@ -1,0 +1,73 @@
+"""Parsed-AST cache shared by the shallow and deep lint steps.
+
+CI runs the shallow pass and then the deep pass over the same tree; the
+deep pass additionally re-reads everything to build the program model.
+The cache pickles each file's parsed :class:`SourceModule` keyed by
+absolute path and guarded by the source's SHA-256 — a stale or corrupt
+cache silently degrades to re-parsing, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from ..source import SourceModule
+
+__all__ = ["AstCache"]
+
+
+class AstCache:
+    """A digest-checked pickle of parsed modules; no-op without a path."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._entries: Dict[str, Tuple[str, SourceModule]] = {}
+        self._dirty = False
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "rb") as fh:
+                    loaded = pickle.load(fh)
+                if isinstance(loaded, dict):
+                    self._entries = loaded
+            except Exception:
+                # unpickling whatever was on disk must never take the
+                # linter down; treat it as a cold cache
+                self._entries = {}
+
+    @staticmethod
+    def _digest(text: str) -> str:
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def get(self, path: str, text: str) -> Optional[SourceModule]:
+        entry = self._entries.get(os.path.abspath(path))
+        if entry is None:
+            return None
+        digest, module = entry
+        if digest != self._digest(text):
+            return None
+        return module
+
+    def put(self, path: str, text: str, module: SourceModule) -> None:
+        self._entries[os.path.abspath(path)] = (self._digest(text), module)
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (temp file + rename)."""
+        if self.path is None or not self._dirty:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(self._entries, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

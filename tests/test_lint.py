@@ -12,6 +12,8 @@ from repro.lint import (
     ALL_RULES,
     PARSE_ERROR_CODE,
     RULES_BY_CODE,
+    expand_selectors,
+    lint_file,
     lint_paths,
     lint_source,
     select_rules,
@@ -42,6 +44,19 @@ def test_registry_covers_rpl001_through_rpl010():
 def test_select_rules_rejects_unknown_code():
     with pytest.raises(KeyError):
         select_rules(["RPL999"])
+
+
+def test_expand_selectors_prefix_matching():
+    available = list(RULES_BY_CODE) + ["RPL011", "RPL012"]
+    assert expand_selectors(["RPL001"], available) == ["RPL001"]
+    assert expand_selectors(["RPL01"], available) == [
+        "RPL010", "RPL011", "RPL012",
+    ]
+    assert expand_selectors(["rpl002", "RPL011"], available) == [
+        "RPL002", "RPL011",
+    ]
+    with pytest.raises(KeyError):
+        expand_selectors(["RPL9"], available)
 
 
 # -- RPL001 wall-clock ------------------------------------------------------
@@ -575,9 +590,50 @@ def test_noqa_bare_suppresses_all_and_wrong_code_does_not():
     assert found[0].line == 6
 
 
+def test_noqa_with_multiple_comma_separated_codes():
+    src = """
+    import time
+    import random
+
+    def f():
+        return time.time(), random.random()  # noqa: RPL001, RPL002
+    """
+    assert run(src) == []
+
+
+def test_noqa_multiple_codes_suppress_only_whats_listed():
+    src = """
+    import time
+    import random
+
+    def f():
+        return time.time(), random.random()  # noqa: RPL002, RPL004
+    """
+    found = run(src)
+    assert codes(found) == ["RPL001"]
+
+
 def test_parse_error_reported_as_rpl000():
     found = lint_source("def broken(:\n", path="bad.py")
     assert codes(found) == [PARSE_ERROR_CODE]
+
+
+def test_undecodable_file_reported_as_rpl000_not_traceback(tmp_path):
+    bad = tmp_path / "latin.py"
+    bad.write_bytes(b'x = "\xff\xfe"\n')
+    found = lint_file(str(bad))
+    assert codes(found) == [PARSE_ERROR_CODE]
+    assert found[0].line == 1
+    assert "decode" in found[0].message
+    assert lint_main([str(bad)]) == 1
+
+
+def test_null_byte_file_reported_as_rpl000(tmp_path):
+    bad = tmp_path / "nul.py"
+    bad.write_bytes(b"x = 1\x00\n")
+    found = lint_file(str(bad))
+    assert codes(found) == [PARSE_ERROR_CODE]
+    assert lint_main([str(bad)]) == 1
 
 
 # -- the meta-test: this repo honours its own contracts ---------------------
@@ -618,10 +674,109 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in RULES_BY_CODE:
         assert code in out
+    # deep rules are part of the listing even without --deep
+    for code in ("RPL011", "RPL012", "RPL013", "RPL014"):
+        assert code in out
+
+
+def test_cli_select_prefix_and_ignore(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(
+        "import time\nimport random\n"
+        "t = time.time()\nr = random.random()\n"
+    )
+    # prefix selects both RPL001 and RPL002
+    assert lint_main([str(dirty), "--select", "RPL00"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL001" in out and "RPL002" in out
+    # ignoring one of them leaves the other
+    assert lint_main([str(dirty), "--ignore", "RPL001"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL001" not in out and "RPL002" in out
+    # ignoring everything is clean
+    assert lint_main([str(dirty), "--ignore", "RPL"]) == 0
+    # unknown ignore selector is a usage error, same as --select
+    assert lint_main([str(dirty), "--ignore", "XYZ"]) == 2
+
+
+def test_cli_deep_rule_selection_requires_deep_flag(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean), "--select", "RPL011"]) == 2
+    err = capsys.readouterr().err
+    assert "--deep" in err
+    assert lint_main([str(clean), "--deep", "--select", "RPL011"]) == 0
+
+
+def test_cli_github_format(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert lint_main([str(dirty), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert f"::error file={dirty},line=2,col=5,title=RPL001::" in out
+    assert lint_main([str(dirty), "--select", "RPL004",
+                      "--format", "github"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_baseline_suppresses_recorded_findings(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    baseline = str(tmp_path / "baseline.json")
+    # --update-baseline requires --baseline
+    assert lint_main([str(dirty), "--update-baseline"]) == 2
+    capsys.readouterr()
+    assert lint_main([str(dirty), "--baseline", baseline,
+                      "--update-baseline"]) == 0
+    assert "1 fingerprint(s)" in capsys.readouterr().out
+    # the recorded finding no longer fails the run
+    assert lint_main([str(dirty), "--baseline", baseline]) == 0
+    # a new finding still does
+    dirty.write_text(
+        "import time\nimport random\n"
+        "t = time.time()\nr = random.random()\n"
+    )
+    assert lint_main([str(dirty), "--baseline", baseline]) == 1
+    out = capsys.readouterr().out
+    assert "RPL002" in out and "RPL001" not in out
+
+
+def test_cli_ast_cache_roundtrip(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    cache = str(tmp_path / "cache.pickle")
+    assert lint_main([str(dirty), "--ast-cache", cache]) == 1
+    assert os.path.exists(cache)
+    first = capsys.readouterr().out
+    # warm run reuses the parse and reports identically
+    assert lint_main([str(dirty), "--ast-cache", cache]) == 1
+    assert capsys.readouterr().out == first
+    # a corrupt cache degrades to re-parsing, never to a crash
+    with open(cache, "wb") as fh:
+        fh.write(b"not a pickle")
+    assert lint_main([str(dirty), "--ast-cache", cache]) == 1
+    assert capsys.readouterr().out == first
+    # an edit invalidates the stale entry
+    assert lint_main([str(dirty), "--ast-cache", cache]) == 1
+    capsys.readouterr()
+    dirty.write_text("x = 1\n")
+    assert lint_main([str(dirty), "--ast-cache", cache]) == 0
 
 
 def test_repro_cli_lint_subcommand(capsys):
     from repro.cli import main as repro_main
 
     assert repro_main(["lint", SRC_REPRO]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_repro_cli_lint_deep_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    baseline = os.path.join(
+        os.path.dirname(__file__), "..", "lint-baseline.json"
+    )
+    assert repro_main([
+        "lint", SRC_REPRO, "--deep", "--baseline", baseline,
+    ]) == 0
     assert "clean" in capsys.readouterr().out

@@ -1,0 +1,403 @@
+"""repro.lint.deep: the whole-program pass builds a faithful model of the
+tree (modules, MROs, call graph), each deep rule fires on a seeded
+mutation of the real engines, the pass is fast and byte-deterministic,
+and — the contract the subpackage exists for — src/repro itself is
+deep-clean."""
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.lint.deep import (
+    DEEP_RULES,
+    DEEP_RULES_BY_CODE,
+    build_program,
+    deep_lint_paths,
+)
+from repro.lint.deep.baseline import (
+    filter_baselined,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.deep.program import module_name_for
+from repro.lint.rules.base import Violation
+from repro.lint.source import SourceModule
+
+SRC_REPRO = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+REPO_SRC = os.path.abspath(os.path.join(SRC_REPRO, ".."))
+
+
+def rules(code):
+    return [DEEP_RULES_BY_CODE[code]]
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+# -- registry ---------------------------------------------------------------
+
+def test_deep_registry_covers_rpl011_through_rpl014():
+    assert sorted(DEEP_RULES_BY_CODE) == [
+        f"RPL{i:03d}" for i in range(11, 15)
+    ]
+    assert len(DEEP_RULES) == 4
+    for rule in DEEP_RULES:
+        assert rule.name and rule.rationale
+
+
+# -- program model ----------------------------------------------------------
+
+def test_module_name_for_walks_packages():
+    assert module_name_for(
+        os.path.join(SRC_REPRO, "engines", "bsp.py")
+    ) == "repro.engines.bsp"
+    assert module_name_for(
+        os.path.join(SRC_REPRO, "lint", "__init__.py")
+    ) == "repro.lint"
+
+
+def _program_from(tmp_path, files):
+    sources = {}
+    for relpath, text in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+        sources[str(path)] = SourceModule.parse(
+            textwrap.dedent(text), path=str(path)
+        )
+    return build_program(sources)
+
+
+def test_mro_linearizes_mixin_diamonds(tmp_path):
+    program = _program_from(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/base.py": """
+            class Engine:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return "base"
+            """,
+        "pkg/mix.py": """
+            class LoopMixin:
+                def step(self):
+                    return "mixin"
+            """,
+        "pkg/impl.py": """
+            from .base import Engine
+            from .mix import LoopMixin
+
+            class FastEngine(LoopMixin, Engine):
+                pass
+            """,
+    })
+    fast = program.classes["pkg.impl.FastEngine"]
+    names = [c.name for c in program.mro(fast)]
+    assert names == ["FastEngine", "LoopMixin", "Engine"]
+    # step resolves through the mixin, run through the root
+    assert program.resolve_method(fast, "step").qualname == (
+        "pkg.mix.LoopMixin.step"
+    )
+    assert program.resolve_method(fast, "run").qualname == (
+        "pkg.base.Engine.run"
+    )
+
+
+def test_super_resolution_skips_past_the_defining_class(tmp_path):
+    program = _program_from(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/base.py": """
+            class Engine:
+                def _load(self):
+                    return "root"
+            """,
+        "pkg/mid.py": """
+            from .base import Engine
+
+            class MidEngine(Engine):
+                def _load(self):
+                    return super()._load()
+            """,
+        "pkg/leaf.py": """
+            from .mid import MidEngine
+
+            class LeafEngine(MidEngine):
+                pass
+            """,
+    })
+    leaf = program.classes["pkg.leaf.LeafEngine"]
+    mid = program.classes["pkg.mid.MidEngine"]
+    resolved = program.resolve_super_method(leaf, mid, "_load")
+    assert resolved.qualname == "pkg.base.Engine._load"
+
+
+# -- RPL011 on a fixture package (builtin model table fallback) -------------
+
+def test_rpl011_flags_undeclared_and_disallowed_primitives(tmp_path):
+    program_dir = tmp_path / "eng"
+    (program_dir / "__init__.py").parent.mkdir()
+    (program_dir / "__init__.py").write_text("")
+    (program_dir / "base.py").write_text(textwrap.dedent("""
+        class Engine:
+            trace_model = "bsp"
+
+            def run(self, cluster):
+                self._load(cluster)
+                self._execute(cluster)
+        """))
+    (program_dir / "toy.py").write_text(textwrap.dedent("""
+        from .base import Engine
+
+        class ToyEngine(Engine):
+            trace_model = "single-thread"
+            model_primitives = frozenset({"advance"})
+
+            def _load(self, cluster):
+                cluster.advance(1.0)
+
+            def _execute(self, cluster):
+                self._charge(cluster)
+
+            def _charge(self, cluster):
+                cluster.shuffle(10.0)
+
+        class BareEngine(Engine):
+            def _load(self, cluster):
+                pass
+
+            def _execute(self, cluster):
+                pass
+
+        class GreedyEngine(Engine):
+            trace_model = "single-thread"
+            model_primitives = frozenset({"advance", "shuffle"})
+
+            def _load(self, cluster):
+                pass
+
+            def _execute(self, cluster):
+                pass
+        """))
+    found = deep_lint_paths([str(tmp_path)], rules=rules("RPL011"))
+    messages = {v.message for v in found}
+    assert codes(found) == ["RPL011"] * 3
+    # ToyEngine: shuffle reached two hops from run but not declared
+    assert any(
+        "cluster.shuffle()" in m and "ToyEngine" in m for m in messages
+    )
+    # BareEngine: no declaration at all
+    assert any(
+        "BareEngine" in m and "model_primitives" in m for m in messages
+    )
+    # GreedyEngine: declares a primitive its model forbids
+    assert any(
+        "GreedyEngine" in m and "shuffle" in m and "does not allow" in m
+        for m in messages
+    )
+
+
+# -- seeded mutations of the real tree: each rule fires ---------------------
+
+def _mutated_tree(tmp_path, relpath, mutate):
+    """Copy src/repro and apply ``mutate`` to one file's text."""
+    root = tmp_path / "repro"
+    shutil.copytree(SRC_REPRO, root)
+    target = root / relpath
+    target.write_text(mutate(target.read_text()))
+    return str(tmp_path)
+
+
+def test_rpl011_mutation_forbidden_primitive(tmp_path):
+    tree = _mutated_tree(
+        tmp_path,
+        os.path.join("engines", "giraph.py"),
+        lambda s: s.replace(
+            "cluster.sample_memory()",
+            "cluster.broadcast(1.0)\n        cluster.sample_memory()",
+            1,
+        ),
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL011"))
+    assert codes(found) == ["RPL011"]
+    assert "cluster.broadcast()" in found[0].message
+    assert "GiraphEngine" in found[0].message
+
+
+def test_rpl012_mutation_unordered_iteration_leak(tmp_path):
+    def mutate(s):
+        s = s.replace(
+            "def _load(",
+            "def _leak(self):\n"
+            "        out = []\n"
+            "        for v in {1, 2}:\n"
+            "            out.append(v)\n"
+            "        return out\n\n"
+            "    def _load(",
+            1,
+        )
+        return s.replace(
+            "cluster.hdfs_read(",
+            "self._leak()\n        cluster.hdfs_read(",
+            1,
+        )
+
+    tree = _mutated_tree(
+        tmp_path, os.path.join("engines", "gelly.py"), mutate
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL012"))
+    assert codes(found) == ["RPL012"]
+    assert "set literal" in found[0].message
+
+
+def test_rpl013_mutation_unwrapped_tracker_record(tmp_path):
+    tree = _mutated_tree(
+        tmp_path,
+        os.path.join("engines", "graphlab.py"),
+        lambda s: s.replace(
+            "cluster.sample_memory()",
+            "cluster.tracker.record_disk(read=1.0)\n"
+            "        cluster.sample_memory()",
+            1,
+        ),
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL013"))
+    assert codes(found) == ["RPL013"]
+    assert "record_disk" in found[0].message
+    assert "span" in found[0].message
+
+
+def test_rpl014_mutation_stray_broad_except(tmp_path):
+    def mutate(s):
+        match = re.search(r"( +)(cluster\.shuffle\([^\n]+\))", s)
+        indent, call = match.group(1), match.group(2)
+        wrapped = (
+            f"{indent}try:\n"
+            f"{indent}    {call}\n"
+            f"{indent}except Exception:\n"
+            f"{indent}    pass"
+        )
+        return s[: match.start()] + wrapped + s[match.end():]
+
+    tree = _mutated_tree(
+        tmp_path, os.path.join("engines", "spark.py"), mutate
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL014"))
+    assert codes(found) == ["RPL014"]
+    assert "broad except" in found[0].message
+    assert "fault" in found[0].message
+
+
+# -- the meta-test: the tree honours its own deep contracts -----------------
+
+def test_src_repro_is_deep_clean_and_fast():
+    start = time.perf_counter()
+    violations = deep_lint_paths([SRC_REPRO])
+    elapsed = time.perf_counter() - start
+    assert violations == [], "\n".join(v.format() for v in violations)
+    assert elapsed < 10.0, f"deep pass took {elapsed:.1f}s (budget: 10s)"
+
+
+def test_committed_baseline_is_empty():
+    path = os.path.join(os.path.dirname(__file__), "..", "lint-baseline.json")
+    assert load_baseline(path) == []
+
+
+def test_deep_report_is_byte_identical_across_hash_seeds(tmp_path):
+    outputs = []
+    for seed in ("1", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=REPO_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--deep",
+             "--format", "json", SRC_REPRO],
+            capture_output=True,
+            env=env,
+            check=True,
+        )
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    assert json.loads(outputs[0])["count"] == 0
+
+
+# -- baseline ---------------------------------------------------------------
+
+def test_baseline_roundtrip_ignores_line_numbers(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    vold = Violation(
+        code="RPL013", message="m", path="src\\repro\\x.py", line=10, col=0
+    )
+    assert write_baseline(path, [vold]) == 1
+    baseline = load_baseline(path)
+    # same finding on a different line, posix separators: still filtered
+    vnew = Violation(
+        code="RPL013", message="m", path="src/repro/x.py", line=99, col=4
+    )
+    assert filter_baselined([vnew], baseline) == []
+    other = Violation(
+        code="RPL013", message="other", path="src/repro/x.py", line=99, col=4
+    )
+    assert filter_baselined([other], baseline) == [other]
+    assert fingerprint(vold) == fingerprint(vnew)
+
+
+def test_baseline_loader_tolerates_garbage(tmp_path):
+    missing = str(tmp_path / "nope.json")
+    assert load_baseline(missing) == []
+    corrupt = tmp_path / "bad.json"
+    corrupt.write_text("{not json")
+    assert load_baseline(str(corrupt)) == []
+    wrong_version = tmp_path / "v0.json"
+    wrong_version.write_text('{"version": 0, "fingerprints": [["a","b","c"]]}')
+    assert load_baseline(str(wrong_version)) == []
+
+
+# -- noqa across passes -----------------------------------------------------
+
+def test_noqa_line_covered_by_shallow_and_deep_rule(tmp_path):
+    obs_dir = tmp_path / "obs"
+    obs_dir.mkdir()
+    (obs_dir / "__init__.py").write_text("")
+    body = textwrap.dedent("""
+        def total(values, out):
+            for v in {1, 2}:<NOQA>
+                out.append(v)
+            return out
+        """)
+    target = obs_dir / "helpers.py"
+
+    from repro.lint.cli import main as lint_main
+
+    target.write_text(body.replace("<NOQA>", ""))
+    args = [str(tmp_path), "--deep", "--select", "RPL008,RPL012",
+            "--format", "json"]
+    import io
+    from contextlib import redirect_stdout
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        assert lint_main(args) == 1
+    payload = json.loads(buf.getvalue())
+    hit_codes = {v["code"] for v in payload["violations"]}
+    assert hit_codes == {"RPL008", "RPL012"}
+    lines = {v["line"] for v in payload["violations"]}
+    assert len(lines) == 1  # both passes anchored on the same loop line
+
+    target.write_text(body.replace("<NOQA>", "  # noqa: RPL008, RPL012"))
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        assert lint_main(args) == 0
+
+    # suppressing only the shallow code leaves the deep finding alive
+    target.write_text(body.replace("<NOQA>", "  # noqa: RPL008"))
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        assert lint_main(args) == 1
+    payload = json.loads(buf.getvalue())
+    assert {v["code"] for v in payload["violations"]} == {"RPL012"}
