@@ -87,6 +87,7 @@ class BspExecutionMixin(abc.ABC):
                 loop_start=loop_start,
                 state_bytes=dataset.profile.num_vertices * 16.0,
             )
+        trace_model = getattr(self, "trace_model", "bsp")
         try:
             first = True
             while not state.done:
@@ -100,9 +101,7 @@ class BspExecutionMixin(abc.ABC):
                     if chaos is not None else 0.0
                 )
                 stats = workload.superstep(graph, state)
-                with observed_superstep(
-                    cluster, stats, model=getattr(self, "trace_model", "bsp")
-                ):
+                with observed_superstep(cluster, stats, model=trace_model):
                     try:
                         self.charge_superstep(
                             dataset, workload, cluster, stats, first

@@ -61,12 +61,17 @@ def code_fingerprint() -> str:
     return digest.hexdigest()
 
 
+@lru_cache(maxsize=None)
 def dataset_fingerprint(dataset: Dataset) -> str:
     """Digest of a dataset's identity *and* generated content.
 
     Hashing the edge array (not just the name) means a changed generator
     seed or a re-shaped synthetic graph busts every dependent cache
     entry, exactly like a new copy of a real dataset would.
+
+    Memoized per process (RPL016): datasets are immutable and the
+    registry returns the same object for the same (name, size), so the
+    O(edges) SHA-256 runs once per dataset, not once per grid cell.
     """
     digest = hashlib.sha256()
     digest.update(_canonical({

@@ -66,7 +66,16 @@ def select_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
 def expand_selectors(
     selectors: Iterable[str], codes: Iterable[str]
 ) -> List[str]:
-    """ruff-style prefix matching: ``RPL01`` selects RPL010..RPL014.
+    """Resolve ``--select``/``--ignore`` selectors against known codes.
+
+    Two forms, checked in order:
+
+    * **exact** — a selector that *is* a known code selects only that
+      code: ``RPL016`` selects RPL016 alone, never anything it happens
+      to prefix;
+    * **prefix** — anything else matches ruff-style by prefix:
+      ``RPL01`` selects every RPL01x rule (ten codes once the deep pass
+      reaches RPL019), ``RPL`` selects everything.
 
     Returns the sorted matching subset of ``codes``; raises KeyError for
     a selector that matches nothing (the CLI turns that into exit 2).
@@ -76,6 +85,9 @@ def expand_selectors(
     for selector in selectors:
         prefix = selector.strip().upper()
         if not prefix:
+            continue
+        if prefix in available:
+            matched.add(prefix)
             continue
         hits = [code for code in available if code.startswith(prefix)]
         if not hits:

@@ -2,8 +2,9 @@
 
 Exit codes follow linter convention: 0 clean, 1 findings, 2 bad usage.
 The shallow pass (RPL001-RPL010) always runs; ``--deep`` additionally
-builds the whole-program model and runs RPL011-RPL014. ``--select`` /
-``--ignore`` filter both passes with ruff-style prefix matching,
+builds the whole-program model and runs RPL011-RPL019. ``--select`` /
+``--ignore`` filter both passes — an exact code matches only itself,
+anything shorter matches ruff-style by prefix —
 ``--baseline`` suppresses previously recorded findings, and
 ``--ast-cache`` shares parsed ASTs between the shallow and deep CI
 steps.
@@ -35,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-aware static analysis for the simulation's model "
             "contracts (shallow rules RPL001-RPL010; --deep adds the "
-            "whole-program rules RPL011-RPL014)."
+            "whole-program rules RPL011-RPL019)."
         ),
     )
     parser.add_argument(
@@ -53,8 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         help=(
-            "comma-separated rule codes or prefixes to run "
-            "(e.g. RPL001,RPL01; default: all active rules)"
+            "comma-separated rule codes or prefixes to run; an exact "
+            "code (RPL016) selects only itself, a prefix (RPL01) "
+            "selects every code it starts (default: all active rules)"
         ),
     )
     parser.add_argument(
@@ -65,9 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--deep",
         action="store_true",
         help=(
-            "also run the whole-program pass (RPL011-RPL014): call-graph "
+            "also run the whole-program pass (RPL011-RPL019): call-graph "
             "model conformance, determinism taint, span coverage, chaos "
-            "safety"
+            "safety, pool payloads, redundant digests, superstep hot-loop "
+            "hygiene, cache-key soundness, cross-process state sharing"
         ),
     )
     parser.add_argument(

@@ -12,7 +12,17 @@ conservative call graph, and checks the contracts that only exist
 - RPL013 span coverage — no simulated disk/network work is recorded
   outside an obs span;
 - RPL014 chaos safety — no broad handler can absorb a reachable
-  simulated fault before its recovery is priced.
+  simulated fault before its recovery is priced;
+- RPL015 pool payload — no large result-determining object (dataset,
+  graph, spec) is pickled into process-pool tasks in ``exec``;
+- RPL016 redundant digest — no unmemoized bulk content digest is
+  recomputed inside a loop;
+- RPL017 superstep hygiene — no avoidable per-iteration allocation,
+  string building, or deep attribute chain in the superstep hot loop;
+- RPL018 cache-key soundness — every input that can change a RunResult
+  flows into the result cache's key construction;
+- RPL019 worker sharing — no ``exec`` module-level mutable state is
+  expected to cross a process boundary.
 
 Usage::
 
@@ -36,6 +46,11 @@ from .rpl011_model_conformance import ModelConformanceRule
 from .rpl012_determinism import DeterminismTaintRule
 from .rpl013_span_coverage import SpanCoverageRule
 from .rpl014_chaos_safety import ChaosSafetyRule
+from .rpl015_pool_payload import PoolPayloadRule
+from .rpl016_redundant_digest import RedundantDigestRule
+from .rpl017_superstep_hygiene import SuperstepHygieneRule
+from .rpl018_cache_key import CacheKeySoundnessRule
+from .rpl019_worker_sharing import WorkerSharingRule
 
 __all__ = [
     "DeepRule",
@@ -52,6 +67,11 @@ DEEP_RULES = (
     DeterminismTaintRule(),
     SpanCoverageRule(),
     ChaosSafetyRule(),
+    PoolPayloadRule(),
+    RedundantDigestRule(),
+    SuperstepHygieneRule(),
+    CacheKeySoundnessRule(),
+    WorkerSharingRule(),
 )
 
 DEEP_RULES_BY_CODE = {rule.code: rule for rule in DEEP_RULES}

@@ -59,6 +59,29 @@ def test_expand_selectors_prefix_matching():
         expand_selectors(["RPL9"], available)
 
 
+def test_expand_selectors_exact_match_beats_prefix():
+    # an exact code selects only itself even when it prefixes other
+    # codes — the regression the docs promise now that RPL01 matches
+    # ten deep rules
+    available = ["RPL016", "RPL0160", "RPL0161"]
+    assert expand_selectors(["RPL016"], available) == ["RPL016"]
+    assert expand_selectors(["rpl016"], available) == ["RPL016"]
+    # a non-exact selector still expands by prefix
+    assert expand_selectors(["RPL01"], available) == [
+        "RPL016", "RPL0160", "RPL0161",
+    ]
+
+
+def test_expand_selectors_rpl01_matches_ten_deep_rules():
+    from repro.lint.deep import DEEP_RULES_BY_CODE
+
+    available = list(RULES_BY_CODE) + list(DEEP_RULES_BY_CODE)
+    expanded = expand_selectors(["RPL01"], available)
+    assert expanded == [f"RPL{i:03d}" for i in range(10, 20)]
+    assert len(expanded) == 10
+    assert expand_selectors(["RPL016"], available) == ["RPL016"]
+
+
 # -- RPL001 wall-clock ------------------------------------------------------
 
 def test_rpl001_flags_wall_clock_calls():
