@@ -11,6 +11,8 @@ Subcommands mirror the study's workflow::
     repro weak BV pagerank twitter      # the weak-scaling extension
     repro chaos --faults crash netsplit # fault injection: MTTR per system
     repro report runs.jsonl -o out.md   # Markdown report from a log
+    repro report traces/ BENCH_grid.json # cost & perf report from journals
+    repro report --diff old/ new/       # regression gate: exit 1 if slower
     repro trace trace.jsonl --summary   # inspect a run journal
     repro lint src/                     # enforce the model contracts (RPLxxx)
 
@@ -102,6 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel worker count (default: cpu count, min 2)")
     p.add_argument("-o", "--output", default="BENCH_grid.json",
                    help="where the JSON record goes")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="append the record here as one JSON line (default: "
+                        "BENCH_history.jsonl next to the output; '' skips)")
 
     p = sub.add_parser("cost", help="the COST experiment (Table 9)")
     p.add_argument("--datasets", nargs="+", default=["twitter", "uk0705", "wrn"])
@@ -147,9 +152,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print one progress line per finished cell")
     _add_exec_options(p)
 
-    p = sub.add_parser("report", help="render a Markdown report from a log")
-    p.add_argument("log", help="JSONL file written by 'repro grid --log'")
+    p = sub.add_parser(
+        "report",
+        help="perf & cost report — or regression diff — from logs, "
+             "journals, trace dirs, and bench records",
+    )
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help="runs-log JSONL, run journal, trace directory, "
+                        "BENCH_grid.json, or BENCH_history.jsonl")
     p.add_argument("-o", "--output", help="write the report here (default stdout)")
+    p.add_argument("--diff", action="store_true",
+                   help="compare exactly two inputs; exit 1 on any "
+                        "threshold-crossing regression (the CI gate)")
+    p.add_argument("--threshold", type=float, default=0.05, metavar="REL",
+                   help="relative time-regression threshold for --diff "
+                        "(default 0.05 = 5%%)")
+    p.add_argument("--cost-threshold", type=float, default=None, metavar="REL",
+                   help="relative dollars-regression threshold for --diff "
+                        "(default: same as --threshold)")
+    p.add_argument("--top", type=int, default=10,
+                   help="hot-span rows per input (default 10)")
 
     p = sub.add_parser(
         "trace", help="inspect or convert a run journal (JSONL)"
@@ -334,7 +356,7 @@ def _cmd_grid(args) -> int:
 def _cmd_bench_grid(args) -> int:
     from .exec.bench import run_bench
 
-    run_bench(jobs=args.jobs, output=args.output)
+    run_bench(jobs=args.jobs, output=args.output, history=args.history)
     return 0
 
 
@@ -470,17 +492,55 @@ def _cmd_findings(args) -> int:
     return 0 if all(f.supported for f in findings) else 1
 
 
-def _cmd_report(args) -> int:
-    from .analysis import read_log
-
-    grid = read_log(args.log)
-    text = grid_report(grid, title=f"Experiment report — {args.log}")
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
+def _emit_report(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
-        print(f"report written to {args.output}")
+        print(f"report written to {output}")
     else:
         print(text)
+
+
+def _cmd_report(args) -> int:
+    from .obs import report as perf
+
+    if args.diff:
+        if len(args.paths) != 2:
+            print("error: --diff compares exactly two inputs",
+                  file=sys.stderr)
+            return 2
+        try:
+            diff = perf.diff_sources(
+                perf.load_source(args.paths[0]),
+                perf.load_source(args.paths[1]),
+                threshold=args.threshold,
+                cost_threshold=args.cost_threshold,
+            )
+        except perf.ReportError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _emit_report(diff.render(), args.output)
+        return diff.exit_code
+
+    sections: List[str] = []
+    perf_sources: List = []
+    try:
+        for path in args.paths:
+            if perf.classify_path(path) == perf.KIND_LEGACY_LOG:
+                from .analysis import read_log
+
+                grid = read_log(path)
+                sections.append(
+                    grid_report(grid, title=f"Experiment report — {path}")
+                )
+            else:
+                perf_sources.append(perf.load_source(path))
+    except perf.ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if perf_sources:
+        sections.append(perf.render_report(perf_sources, top=args.top))
+    _emit_report("\n\n".join(sections), args.output)
     return 0
 
 

@@ -125,6 +125,9 @@ class Cluster:
                     iowait=iowait_seconds,
                     idle=max(0.0, step - busy - iowait_seconds),
                 )
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * step
+            )
             self.advance(step)
         return step
 
@@ -164,6 +167,9 @@ class Cluster:
                               wire_bytes=wire):
             self.metrics.counter("bytes_shuffled").inc(total_bytes)
             self.tracker.record_network(sent=wire, received=wire)
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * t
+            )
             self.advance(t)
         return t
 
@@ -173,6 +179,9 @@ class Cluster:
         total = nbytes_per_machine * (self.num_workers - 1)
         with self.tracer.span("gather", cat="cluster", bytes=total):
             self.tracker.record_network(sent=total, received=total)
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * t
+            )
             self.advance(t)
         return t
 
@@ -182,6 +191,9 @@ class Cluster:
         total = nbytes * (self.num_workers - 1)
         with self.tracer.span("broadcast", cat="cluster", bytes=total):
             self.tracker.record_network(sent=total, received=total)
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * t
+            )
             self.advance(t)
         return t
 
@@ -189,6 +201,9 @@ class Cluster:
         """BSP synchronization barrier."""
         t = self.network.barrier_time()
         with self.tracer.span("barrier", cat="cluster"):
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * t
+            )
             self.advance(t)
         return t
 
@@ -202,6 +217,9 @@ class Cluster:
         t = self.hdfs.read_time(nbytes, threads)
         with self.tracer.span("hdfs_read", cat="cluster", bytes=nbytes):
             self.tracker.record_disk(read=nbytes)
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * t
+            )
             self.advance(t)
         return t
 
@@ -213,6 +231,9 @@ class Cluster:
         t = self.hdfs.write_time(nbytes, threads)
         with self.tracer.span("hdfs_write", cat="cluster", bytes=nbytes):
             self.tracker.record_disk(written=nbytes * self.hdfs.replication)
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * t
+            )
             self.advance(t)
         return t
 
@@ -229,6 +250,9 @@ class Cluster:
         with self.tracer.span(name, cat="cluster", bytes=nbytes):
             self.tracker.record_disk(
                 read=0.0 if write else nbytes, written=nbytes if write else 0.0
+            )
+            self.tracker.record_memory_integral(
+                self.memory.total_used_bytes() * t
             )
             self.advance(t)
         return t

@@ -42,6 +42,10 @@ class MemoryAccountant:
         """Peak resident bytes on one machine."""
         return self._peak[machine_id]
 
+    def total_used_bytes(self) -> float:
+        """Current resident bytes across every machine (cost integrand)."""
+        return sum(self._used)
+
     def total_peak_bytes(self) -> float:
         """Sum of per-machine peaks (what Table 8 reports)."""
         return sum(self._peak)

@@ -73,6 +73,7 @@ class ResourceTracker:
         self.network_bytes_received: float = 0.0
         self.disk_bytes_read: float = 0.0
         self.disk_bytes_written: float = 0.0
+        self._memory_byte_seconds: float = 0.0
 
     # -- recording -------------------------------------------------------
 
@@ -109,6 +110,21 @@ class ResourceTracker:
         """Add to the disk byte counters."""
         self.disk_bytes_read += read
         self.disk_bytes_written += written
+
+    def record_memory_integral(self, byte_seconds: float) -> None:
+        """Accrue resident-memory × time for one cluster operation.
+
+        The cost model (:mod:`repro.obs.cost`) bills memory by the
+        GB-hour, so every clock-advancing primitive charges its
+        duration × the cluster's resident bytes here. Like disk and
+        network records, this is simulated work — RPL013 requires call
+        sites to sit inside an obs span.
+        """
+        if byte_seconds < 0:
+            raise ValueError(
+                f"memory integral cannot be negative ({byte_seconds})"
+            )
+        self._memory_byte_seconds += byte_seconds
 
     # -- queries (what the figures plot) ----------------------------------
 
@@ -149,3 +165,7 @@ class ResourceTracker:
     def network_total_bytes(self) -> float:
         """Total bytes through the NICs (Figure 13c's metric)."""
         return self.network_bytes_sent + self.network_bytes_received
+
+    def memory_byte_seconds(self) -> float:
+        """The run's resident-memory × time integral (cost accounting)."""
+        return self._memory_byte_seconds

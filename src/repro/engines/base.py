@@ -458,6 +458,11 @@ class Engine(abc.ABC):
             result.extras["tracker_peak_total"] = float(
                 cluster.tracker.total_memory_bytes()
             )
+            # memory×time integral accrued by the cluster primitives —
+            # journaled as a metric so the cost record can bill GB-hours
+            result.extras["memory_byte_seconds"] = float(
+                cluster.tracker.memory_byte_seconds()
+            )
             cpu = cluster.tracker.cpu_totals()
             result.extras["cpu_user_seconds"] = cpu["user"]
             result.extras["cpu_system_seconds"] = cpu["system"]

@@ -32,7 +32,11 @@ from typing import List, Optional
 from ..obs.hostclock import host_now
 from .executor import ExecutionReport, execute_grid
 
-__all__ = ["run_bench", "main"]
+__all__ = ["run_bench", "main", "BENCH_SCHEMA_VERSION"]
+
+#: bump when the BENCH_grid.json record layout changes
+#: v2: schema_version + speedup_warm + grid cost block + history append
+BENCH_SCHEMA_VERSION = 2
 
 #: the fixed benchmark grid: Figure 6's PageRank lineup, two sizes
 BENCH_DATASETS = ("twitter", "uk0705", "wrn")
@@ -64,11 +68,33 @@ def _timed(label: str, **kwargs) -> dict:
         "seconds": seconds,
         "executed": report.executed,
         "cache_hit_rate": report.cache_hit_rate,
+        # the grid's aggregated simulated bill (repro.obs.cost): unlike
+        # the host timings above this is deterministic across hosts
+        "cost_dollars": _scheduler_metric(execution, "cost.dollars"),
+        "cost_answers": _scheduler_metric(execution, "cost.answers"),
     }
 
 
-def run_bench(jobs: Optional[int] = None, output: str = "BENCH_grid.json") -> dict:
-    """Run the benchmark matrix and write its JSON record."""
+def _scheduler_metric(execution, name: str) -> float:
+    try:
+        return float(execution.observation.metrics.value(name))
+    except KeyError:
+        return 0.0
+
+
+def run_bench(
+    jobs: Optional[int] = None,
+    output: str = "BENCH_grid.json",
+    history: Optional[str] = None,
+) -> dict:
+    """Run the benchmark matrix; write its JSON record + history line.
+
+    ``output`` holds only the latest record; each run also appends one
+    canonical JSON line to ``history`` (default: ``BENCH_history.jsonl``
+    next to ``output``), so the perf trajectory accumulates and
+    ``repro report --diff`` can compare any two points on it. Pass an
+    empty string to skip the history append.
+    """
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     jobs = max(2, jobs)  # the point is jobs=N vs jobs=1; N=1 measures nothing
     spec = _bench_spec()
@@ -91,6 +117,7 @@ def run_bench(jobs: Optional[int] = None, output: str = "BENCH_grid.json") -> di
     warm = modes["jobsN_warm"]["seconds"]
     record = {
         "bench": "grid",
+        "schema_version": BENCH_SCHEMA_VERSION,
         "workload": "pagerank",
         "systems": len(spec.systems),
         "datasets": list(BENCH_DATASETS),
@@ -101,6 +128,9 @@ def run_bench(jobs: Optional[int] = None, output: str = "BENCH_grid.json") -> di
         "host_cpus": os.cpu_count(),
         "modes": modes,
         "speedup_parallel": base / cold if cold else 0.0,
+        "speedup_warm": base / warm if warm else 0.0,
+        # legacy alias of speedup_warm (schema v1 name), kept so older
+        # readers of BENCH_grid.json keep working
         "speedup_warm_cache": base / warm if warm else 0.0,
         # the executor's end-to-end win at --jobs N vs --jobs 1: cold
         # fan-out where cores exist, cache replay on a repeated grid
@@ -121,10 +151,17 @@ def run_bench(jobs: Optional[int] = None, output: str = "BENCH_grid.json") -> di
     Path(output).write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="ascii"
     )
+    if history is None:
+        history = str(Path(output).with_name("BENCH_history.jsonl"))
+    if history:
+        with open(history, "a", encoding="ascii") as fh:
+            fh.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")) + "\n")
     print(
         f"speedup: parallel {record['speedup_parallel']:.2f}x · "
         f"warm-cache {record['speedup_warm_cache']:.2f}x · "
         f"best {record['speedup']:.2f}x -> {output}"
+        + (f" (+ history {history})" if history else "")
     )
     return record
 
@@ -139,6 +176,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="parallel worker count (default: cpu count, min 2)")
     parser.add_argument("-o", "--output", default="BENCH_grid.json",
                         help="where the JSON record goes")
+    parser.add_argument("--history", default=None, metavar="FILE",
+                        help="append the record here as one JSON line "
+                             "(default: BENCH_history.jsonl next to the "
+                             "output; pass '' to skip)")
     args = parser.parse_args(argv)
-    run_bench(jobs=args.jobs, output=args.output)
+    run_bench(jobs=args.jobs, output=args.output, history=args.history)
     return 0

@@ -301,6 +301,29 @@ class _GridRun:
         finally:
             pool.shutdown(wait=False)
 
+    def _aggregate_costs(self, ordered: List[RunResult]) -> None:
+        """Fold every cell's cost record into the scheduler's metrics.
+
+        Each run journal ends with a ``cost`` event (live and cached
+        cells alike — the frozen journal replays it), so the grid's
+        bill lands in ``_scheduler.jsonl`` as ``cost.*`` counters next
+        to the cache-hit/retry story.
+        """
+        from ..obs.cost import CostReport, aggregate_costs
+
+        reports = []
+        for result in ordered:
+            if result.observation is None:
+                continue
+            event = result.observation.journal().cost()
+            if event is not None:
+                reports.append(CostReport.from_event(event))
+        if not reports:
+            return
+        totals = aggregate_costs(reports)
+        for name in sorted(totals):
+            self.obs.metrics.counter(f"cost.{name}").inc(totals[name])
+
     def build(self) -> GridExecution:
         """Assemble the grid in plan order and close the scheduler story."""
         from ..core.runner import ResultGrid
@@ -311,6 +334,7 @@ class _GridRun:
             grid.put(result)
         elapsed = host_now() - self.start
         self.obs.metrics.gauge("exec.jobs").set(self.jobs)
+        self._aggregate_costs(ordered)
         report = ExecutionReport(
             cells=len(self.tasks),
             cache_hits=self.hits,

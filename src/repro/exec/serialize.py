@@ -32,7 +32,8 @@ __all__ = [
 ]
 
 #: bump when the payload layout changes incompatibly (part of cache keys)
-PAYLOAD_VERSION = 1
+#: v2: journals carry the cost record + memory_byte_seconds metric
+PAYLOAD_VERSION = 2
 
 
 class FrozenJournalObservation:

@@ -11,11 +11,15 @@ call sitting outside any ``with ....span(...)`` block, which silently
 drops that work from every trace export.
 
 This rule scans every function reachable from an engine's ``run`` plus
-the ``cluster`` package itself and flags tracker disk/network records
-that are not lexically enclosed in a span ``with`` block. Memory and
-CPU records are exempt: ``sample_memory`` records peaks outside spans by
-design (a gauge, not work), and ``record_cpu`` is only called by the
-span-wrapped compute primitives.
+the ``cluster`` package itself and flags tracker disk/network/memory-
+integral records that are not lexically enclosed in a span ``with``
+block. ``record_memory_integral`` joined the tracked set with the cost
+record (``repro.obs.cost``): the memory×time integral it accrues is
+billed as GB-hours, so an unspanned call would charge dollars the trace
+cannot attribute. Peak-memory sampling and CPU records stay exempt:
+``sample_memory`` records peaks outside spans by design (a gauge, not
+work), and ``record_cpu`` is only called by the span-wrapped compute
+primitives.
 """
 
 from __future__ import annotations
@@ -31,8 +35,11 @@ from .reachability import engine_cone
 
 __all__ = ["SpanCoverageRule"]
 
-#: tracker records that represent traceable simulated work
-_WORK_RECORDS = frozenset({"record_disk", "record_network"})
+#: tracker records that represent traceable simulated work (and, for
+#: the memory integral, billable cost — see repro.obs.cost)
+_WORK_RECORDS = frozenset(
+    {"record_disk", "record_network", "record_memory_integral"}
+)
 
 
 def _is_span_with(stmt: ast.AST) -> bool:
@@ -89,14 +96,14 @@ def _scoped_functions(program: Program) -> List[FunctionInfo]:
 
 
 class SpanCoverageRule(DeepRule):
-    """Every disk/network record reachable from an engine is in a span."""
+    """Every disk/network/memory-integral record in an engine cone is spanned."""
 
     code = "RPL013"
     name = "span-coverage"
     rationale = (
-        "simulated disk/network work recorded outside an obs span "
-        "disappears from the journal — trace exports and recovery "
-        "accounting would under-report real model cost"
+        "simulated disk/network/memory work recorded outside an obs span "
+        "disappears from the journal — trace exports, recovery "
+        "accounting and the cost record would under-report model cost"
     )
 
     def check_program(self, program: Program) -> Iterator[Violation]:

@@ -15,6 +15,14 @@ Two invariants hold the layer honest:
   :mod:`repro.obs.hostclock`, the single module RPL001 allowlists.
 """
 
+from .cost import (
+    CostModel,
+    CostReport,
+    DEFAULT_COST_MODEL,
+    aggregate_costs,
+    cost_event_from_events,
+    cost_report_from_events,
+)
 from .hostclock import HostTimer, host_now, host_sleep
 from .journal import Journal, JournalError, build_journal
 from .metrics import (
@@ -26,6 +34,15 @@ from .metrics import (
     MetricsRegistry,
 )
 from .observation import RunObservation
+from .report import (
+    PerfDiff,
+    PerfSource,
+    ReportError,
+    classify_path,
+    diff_sources,
+    load_source,
+    render_report,
+)
 from .export import (
     chrome_trace,
     one_line_summary,
@@ -50,12 +67,25 @@ __all__ = [
     "Journal",
     "JournalError",
     "build_journal",
+    "CostModel",
+    "CostReport",
+    "DEFAULT_COST_MODEL",
+    "aggregate_costs",
+    "cost_event_from_events",
+    "cost_report_from_events",
     "chrome_trace",
     "write_chrome",
     "superstep_rows",
     "write_superstep_csv",
     "render_summary",
     "one_line_summary",
+    "PerfDiff",
+    "PerfSource",
+    "ReportError",
+    "classify_path",
+    "diff_sources",
+    "load_source",
+    "render_report",
     "HostTimer",
     "host_now",
     "host_sleep",

@@ -177,9 +177,66 @@ def _bar(fraction: float, width: int = 24) -> str:
     return "#" * filled + "." * (width - filled)
 
 
-def render_summary(journal: Journal, top: int = 5) -> str:
-    """The terminal timeline: phases, supersteps, and the hot spans."""
+def _render_scheduler_summary(journal: Journal, top: int) -> str:
+    """The executor's story: cache/retry counters + the grid's bill.
+
+    ``repro grid --trace`` writes ``_scheduler.jsonl`` next to the
+    per-cell journals; its spans are host-clock (scheduling overhead),
+    its counters are the cache-hit/retry/executed tallies, and the
+    ``cost.*`` counters aggregate every cell's cost record.
+    """
     meta = journal.meta
+    spans = journal.spans()
+    grid_spans = [s for s in spans if s.get("name") == "grid"]
+    total = grid_spans[0]["dur"] if grid_spans else sum(
+        s["dur"] for s in spans if s.get("parent") is None
+    )
+    lines = [
+        f"scheduler — {meta.get('cells', '?')} cells · "
+        f"{meta.get('cache_hits', '?')} cached · "
+        f"{meta.get('executed', '?')} executed · "
+        f"{meta.get('retries', '?')} retries · jobs={meta.get('jobs', '?')} · "
+        f"{_fmt_seconds(total)} host"
+    ]
+    dollars = journal.scalar("cost.dollars")
+    if dollars:
+        answers = journal.scalar("cost.answers")
+        per = f" · ${dollars / answers:.4f}/answer" if answers else ""
+        lines.append(
+            f"  grid cost ${dollars:.4f} · "
+            f"{journal.scalar('cost.machine_seconds'):.0f} machine-s · "
+            f"{journal.scalar('cost.gb_shuffled'):.2f} GB shuffled · "
+            f"{journal.scalar('cost.memory_gb_hours'):.3f} mem GB-h · "
+            f"{answers:.0f} answers{per}"
+        )
+        recovery = journal.scalar("cost.recovery_seconds")
+        if recovery:
+            lines.append(
+                f"  chaos recovery {_fmt_seconds(recovery)} simulated "
+                f"(priced inside the machine-second bill)"
+            )
+    hot = _hot_spans(spans, top)
+    if hot:
+        lines.append(f"  top {len(hot)} scheduler spans by self time (host):")
+        for label, count, span_total, self_time in hot:
+            lines.append(
+                f"    {label:<24s} x{count:<5d} self "
+                f"{_fmt_seconds(self_time):>8s} · total "
+                f"{_fmt_seconds(span_total)}"
+            )
+    return "\n".join(lines)
+
+
+def render_summary(journal: Journal, top: int = 5) -> str:
+    """The terminal timeline: phases, supersteps, and the hot spans.
+
+    Scheduler journals (``_scheduler.jsonl``) get their own shape: the
+    cache/retry counters and the grid's aggregated cost instead of the
+    per-run phase bars.
+    """
+    meta = journal.meta
+    if meta.get("kind") == "scheduler":
+        return _render_scheduler_summary(journal, top)
     spans = journal.spans()
     run_spans = [s for s in spans if s.get("cat") == "run"]
     total = run_spans[0]["dur"] if run_spans else sum(
@@ -213,6 +270,16 @@ def render_summary(journal: Journal, top: int = 5) -> str:
         lines.append(
             f"  shuffled {_fmt_bytes(shuffled)} · "
             f"{_fmt_count(messages)} messages"
+        )
+    cost = journal.cost()
+    if cost is not None:
+        per = cost.get("dollars_per_answer")
+        lines.append(
+            f"  cost ${cost['dollars']:.4f} · "
+            f"{cost['machine_seconds']:.0f} machine-s · "
+            f"{cost['memory_gb_hours']:.3f} mem GB-h"
+            + (f" · ${per:.4f}/answer" if per is not None else
+               " · no answer (failure billed, nothing earned)")
         )
     hot = _hot_spans(spans, top)
     if hot:

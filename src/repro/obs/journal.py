@@ -21,6 +21,12 @@ Line format, one JSON object per line::
      "value": 1.2e9}
     {"type": "metric", "kind": "histogram", "name": "superstep_seconds",
      "count": 30, "sum": 98.7, "min": 1.2, "max": 9.8, "mean": 3.29}
+    {"type": "cost",   "schema": 1, "machines": 16, "dollars": 0.81, ...}
+
+The ``cost`` event is the run's resource bill (see
+:mod:`repro.obs.cost`), appended as the final record of every engine
+run's journal; streams without run billing metadata (the scheduler's
+host-clock journal) carry none.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from .cost import cost_event_from_events
 from .metrics import Histogram, MetricsRegistry
 from .spans import Tracer
 
@@ -136,6 +143,13 @@ class Journal:
         """The superstep-level spans, in execution order."""
         return [e for e in self.spans() if e.get("name") == "superstep"]
 
+    def cost(self) -> Optional[dict]:
+        """The run's cost event (its final record), or ``None``."""
+        for event in self.events:
+            if event.get("type") == "cost":
+                return event
+        return None
+
     def scalar(self, name: str, default: float = 0.0) -> float:
         """A counter/gauge's final value, or ``default``."""
         for event in self.metric_events():
@@ -198,4 +212,10 @@ def build_journal(
             }
             event.update(hist.summary())
             events.append(event)
+    # The resource bill rides last: a pure function of the events above,
+    # so journal byte-determinism carries over to it for free. Non-run
+    # streams (no machines/total_time in meta) get none.
+    cost = cost_event_from_events(events)
+    if cost is not None:
+        events.append(cost)
     return Journal(events)

@@ -24,6 +24,7 @@ from repro.exec import (
     execute_grid,
     plan_grid,
 )
+from repro.exec.serialize import PAYLOAD_VERSION
 from repro.exec.workers import FAULT_ENV
 from repro.obs import Journal
 
@@ -107,9 +108,9 @@ def test_cache_corrupt_or_alien_entries_degrade_to_misses(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     key = "ab" * 32
     assert cache.get(key) is None and key not in cache
-    path = cache.put(key, {"version": 1, "record": {}})
+    path = cache.put(key, {"version": PAYLOAD_VERSION, "record": {}})
     assert key in cache and len(cache) == 1
-    assert cache.get(key) == {"version": 1, "record": {}}
+    assert cache.get(key) == {"version": PAYLOAD_VERSION, "record": {}}
     path.write_text("{ truncated", encoding="ascii")
     assert cache.get(key) is None
     path.write_text(json.dumps({"version": 999}), encoding="ascii")

@@ -642,6 +642,41 @@ def test_rpl013_mutation_unwrapped_tracker_record(tmp_path):
     assert "span" in found[0].message
 
 
+def test_rpl013_mutation_unspanned_memory_integral(tmp_path):
+    # the cost record bills GB-hours off record_memory_integral, so an
+    # unspanned call is untraceable billed work — RPL013 must fire
+    tree = _mutated_tree(
+        tmp_path,
+        os.path.join("engines", "graphlab.py"),
+        lambda s: s.replace(
+            "cluster.sample_memory()",
+            "cluster.tracker.record_memory_integral(1.0)\n"
+            "        cluster.sample_memory()",
+            1,
+        ),
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL013"))
+    assert codes(found) == ["RPL013"]
+    assert "record_memory_integral" in found[0].message
+
+
+def test_rpl013_memory_integral_inside_span_is_clean(tmp_path):
+    # the same charge wrapped in a span is the sanctioned shape (how
+    # the Cluster primitives themselves accrue the integral): no finding
+    tree = _mutated_tree(
+        tmp_path,
+        os.path.join("engines", "graphlab.py"),
+        lambda s: s.replace(
+            "cluster.sample_memory()",
+            "with cluster.tracer.span(\"extra\", cat=\"cluster\"):\n"
+            "            cluster.tracker.record_memory_integral(1.0)\n"
+            "        cluster.sample_memory()",
+            1,
+        ),
+    )
+    assert deep_lint_paths([tree], rules=rules("RPL013")) == []
+
+
 def test_rpl014_mutation_stray_broad_except(tmp_path):
     def mutate(s):
         match = re.search(r"( +)(cluster\.shuffle\([^\n]+\))", s)
