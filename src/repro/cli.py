@@ -15,6 +15,10 @@ Subcommands mirror the study's workflow::
     repro report --diff old/ new/       # regression gate: exit 1 if slower
     repro trace trace.jsonl --summary   # inspect a run journal
     repro lint src/                     # enforce the model contracts (RPLxxx)
+    repro serve                         # benchmark-as-a-service daemon
+    repro submit pagerank --systems BB G # run a grid through the daemon
+    repro serve-ctl stats               # query / shut down the daemon
+    repro serve-bench --clients 120     # Zipf load test -> BENCH_serve.json
 
 Grid and run executions go through :mod:`repro.exec`: independent cells
 fan out over ``--jobs`` worker processes, finished cells land in a
@@ -186,6 +190,85 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default when no export is requested)")
     p.add_argument("--top", type=int, default=5,
                    help="how many span groups the summary ranks (default 5)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the benchmark-as-a-service daemon (fair queue + "
+             "shared warm cache)",
+    )
+    p.add_argument("--socket", default=None, metavar="ADDR",
+                   help="unix socket path or host:port (default: "
+                        ".repro-serve.sock)")
+    p.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                   help="shared result cache (default: .repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a result cache (every cell re-runs)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes per job (default 1: inline, "
+                        "deterministic service order)")
+    p.add_argument("--max-queue", type=int, default=256, metavar="CELLS",
+                   help="admission-control bound on queued cells (default 256)")
+    p.add_argument("--journal", default="_server.jsonl", metavar="FILE",
+                   help="the daemon's own journal, written at shutdown "
+                        "(default: _server.jsonl; '' skips)")
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one experiment grid to a running serve daemon",
+    )
+    p.add_argument("workload", choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
+    p.add_argument("--systems", nargs="+", default=None, metavar="SYS",
+                   help="systems to run (default: the workload's figure "
+                        "lineup)")
+    p.add_argument("--datasets", nargs="+", default=["twitter"],
+                   choices=DATASET_NAMES)
+    p.add_argument("-m", "--machines", nargs="+", type=int, default=[16])
+    p.add_argument("--size", default="small")
+    p.add_argument("--socket", default=None, metavar="ADDR",
+                   help="daemon address (default: .repro-serve.sock)")
+    p.add_argument("--client", default="cli", help="client identity for "
+                   "fair-share accounting (default: cli)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="strict service class; higher runs first (default 0)")
+    p.add_argument("--weight", type=float, default=1.0,
+                   help="fair share inside the priority class (default 1.0)")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for completion (default 600)")
+    p.add_argument("--trace", metavar="DIR",
+                   help="write one journal per served cell into this "
+                        "directory (byte-identical to 'repro grid --trace')")
+
+    p = sub.add_parser(
+        "serve-ctl",
+        help="control a running serve daemon (ping/stats/status/cancel/"
+             "shutdown)",
+    )
+    p.add_argument("action",
+                   choices=("ping", "stats", "status", "cancel", "shutdown"))
+    p.add_argument("--socket", default=None, metavar="ADDR",
+                   help="daemon address (default: .repro-serve.sock)")
+    p.add_argument("--job", metavar="ID",
+                   help="job id for status/cancel")
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="seeded Zipf load test of the daemon -> BENCH_serve.json",
+    )
+    p.add_argument("--clients", type=int, default=120,
+                   help="simulated client count (default 120)")
+    p.add_argument("--seed", type=int, default=2018,
+                   help="load-pattern seed (default 2018)")
+    p.add_argument("--size", default="tiny", choices=("tiny", "small", "medium"),
+                   help="dataset size served (default tiny)")
+    p.add_argument("--max-queue", type=int, default=96, metavar="CELLS",
+                   help="admission-control bound in cells (default 96)")
+    p.add_argument("-o", "--output", default="BENCH_serve.json",
+                   help="where the JSON record goes")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="append the record here as one JSON line (default: "
+                        "BENCH_history.jsonl next to the output; '' skips)")
+    p.add_argument("--journal", default=None, metavar="FILE",
+                   help="also write the daemon's _server.jsonl here")
 
     p = sub.add_parser(
         "lint",
@@ -568,6 +651,121 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _serve_address(args) -> str:
+    """The daemon rendezvous requested by --socket (or its default)."""
+    if args.socket:
+        return args.socket
+    from .serve import DEFAULT_SOCKET
+
+    return DEFAULT_SOCKET
+
+
+def _cmd_serve(args) -> int:
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        address=_serve_address(args),
+        cache=_cli_cache(args),
+        jobs=args.jobs,
+        max_queue_cells=args.max_queue,
+        journal_path=args.journal or None,
+    )
+    print(f"repro serve: listening on {daemon.address} "
+          f"(cache: {'off' if args.no_cache else args.cache_dir}, "
+          f"queue bound: {args.max_queue} cells)")
+    print("stop with 'repro serve-ctl shutdown' on the same socket")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+    if daemon.journal_path is not None:
+        print(f"server journal written to {daemon.journal_path}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .serve import ServeClient, ServeError, grid_from_payloads
+
+    systems = tuple(args.systems) if args.systems else systems_for_workload(
+        args.workload)
+    try:
+        with ServeClient(_serve_address(args), client=args.client) as link:
+            request = link.request(
+                systems=systems, workloads=(args.workload,),
+                datasets=args.datasets, cluster_sizes=args.machines,
+                dataset_size=args.size,
+                priority=args.priority, weight=args.weight,
+            )
+            job_id = link.submit(request)
+            print(f"submitted {job_id} ({request.cells} cells) as "
+                  f"{args.client!r}")
+            status = link.wait(job_id, timeout=args.timeout)
+            payloads = link.fetch_payloads(job_id)
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    grid = grid_from_payloads(payloads)
+    print(render_grid(
+        grid, args.workload, args.datasets, args.machines, systems,
+        title=f"{args.workload} results via {job_id} "
+              f"(total response seconds)",
+    ))
+    print(f"{status['completed']} cells: {status['cache_hits']} served "
+          f"from the warm cache, {status['executed']} executed")
+    if args.trace:
+        from pathlib import Path
+
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for result in grid.cells.values():
+            if result.observation is None:
+                continue
+            result.observation.journal().write(
+                trace_dir / _trace_filename(result))
+            written += 1
+        print(f"{written} cell journals written to {trace_dir}/")
+    return 0
+
+
+def _cmd_serve_ctl(args) -> int:
+    import json
+
+    from .serve import ServeClient, ServeError
+
+    if args.action in ("status", "cancel") and not args.job:
+        print(f"error: {args.action} needs --job", file=sys.stderr)
+        return 2
+    try:
+        with ServeClient(_serve_address(args), client="serve-ctl") as link:
+            if args.action == "ping":
+                response = link.ping()
+            elif args.action == "stats":
+                response = link.stats()
+            elif args.action == "status":
+                response = link.status(args.job)
+            elif args.action == "cancel":
+                response = link.cancel(args.job)
+            else:
+                response = link.shutdown()
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from .serve.loadgen import run_loadgen
+
+    record = run_loadgen(
+        clients=args.clients, seed=args.seed, dataset_size=args.size,
+        max_queue_cells=args.max_queue, output=args.output,
+        history=args.history, journal=args.journal,
+    )
+    return 0 if record["bit_equal_spotcheck"] else 1
+
+
 def _cmd_lint(args) -> int:
     from .lint.cli import run_lint
 
@@ -595,6 +793,10 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "serve-ctl": _cmd_serve_ctl,
+    "serve-bench": _cmd_serve_bench,
     "lint": _cmd_lint,
 }
 

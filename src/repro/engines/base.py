@@ -38,7 +38,8 @@ from ..obs import ExtrasView, MetricsRegistry, RunObservation
 from ..graph.structures import Graph
 from ..workloads.base import Workload, WorkloadKind, WorkloadState
 from ..workloads.pagerank import INITIAL_RANK, PageRank
-from ..workloads.sssp import SSSP, KHop
+from ..workloads.khop import KHop
+from ..workloads.sssp import SSSP
 from ..workloads.wcc import WCC
 
 __all__ = [

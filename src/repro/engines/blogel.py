@@ -37,7 +37,7 @@ from ..graph.structures import Graph
 from ..partitioning.voronoi import INT32_MAX, BlockPartition
 from ..workloads.base import WorkloadState
 from ..workloads.pagerank import DAMPING, PageRank
-from ..workloads.sssp import KHop
+from ..workloads.khop import KHop
 from .base import Engine
 from .bsp import BspExecutionMixin
 from .common import COSTS, cached_block_partition, cached_vertex_partition

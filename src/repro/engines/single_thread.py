@@ -29,7 +29,8 @@ from ..datasets.registry import Dataset
 from ..graph.structures import Graph
 from ..workloads.base import Workload
 from ..workloads.pagerank import DAMPING, PageRank
-from ..workloads.sssp import KHop, SSSP
+from ..workloads.khop import KHop
+from ..workloads.sssp import SSSP
 from ..workloads.wcc import WCC
 from .base import Engine, RunResult
 

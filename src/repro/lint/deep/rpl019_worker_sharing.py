@@ -1,11 +1,14 @@
 """RPL019 — module-level mutable state shared across process boundaries.
 
-``exec`` is the one package allowed to spawn processes (RPL009's legal
-concurrency door), and process boundaries make module-level mutable
-state a trap: under ``spawn`` a worker never sees the parent's writes,
-under ``fork`` it sees a frozen snapshot, and the parent never sees the
-worker's writes back. Code that *looks* like it communicates through a
-module dict silently doesn't.
+``exec`` and ``serve`` are the packages allowed to spawn processes and
+threads (RPL009's legal concurrency doors), and process boundaries make
+module-level mutable state a trap: under ``spawn`` a worker never sees
+the parent's writes, under ``fork`` it sees a frozen snapshot, and the
+parent never sees the worker's writes back. Code that *looks* like it
+communicates through a module dict silently doesn't. The serving layer
+adds a second hazard of the same shape: daemon handler threads and its
+scheduler thread must share state through the daemon instance (under
+its condition lock), never through module globals.
 
 The rule builds the worker cone — everything reachable from functions
 shipped to the pool (``pool.submit(fn, ...)``) or exported by a
@@ -59,11 +62,16 @@ def _is_mutable_value(node: ast.expr) -> bool:
     return False
 
 
+#: packages under scrutiny: every RPL009 concurrency door
+_CONCURRENT_PACKAGES = ("exec", "serve")
+
+
 def _exec_modules(program: Program) -> List[ModuleInfo]:
     return [
         program.modules[name]
         for name in sorted(program.modules)
-        if "exec" in program.modules[name].name_parts
+        if any(pkg in program.modules[name].name_parts
+               for pkg in _CONCURRENT_PACKAGES)
     ]
 
 

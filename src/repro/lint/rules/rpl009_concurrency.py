@@ -1,16 +1,18 @@
-"""RPL009 — concurrency ban: one scheduler door, ``repro/exec/``.
+"""RPL009 — concurrency ban: scheduler doors only (``exec``, ``serve``).
 
 The simulation models distributed execution with *simulated* clocks and
 deterministic cost accounting; host-level concurrency anywhere inside
 the model would let scheduling nondeterminism leak into results (span
 orders, metric interleavings, iteration counts). Real parallelism
-belongs to exactly one place — the experiment executor in
+belongs to the layers *around* the model — the experiment executor in
 ``repro/exec/``, which fans out whole independent cells and proves
-bit-equivalence with the sequential path. Mirroring RPL001's
+bit-equivalence with the sequential path, and the serving layer in
+``repro/serve/``, which funnels every concurrent client through one
+scheduler thread into that same executor. Mirroring RPL001's
 single-wall-clock-door pattern, every import of ``threading``,
-``multiprocessing``, or ``concurrent.futures`` outside that package is
-a violation, so the repo's entire concurrency surface stays auditable
-in one directory.
+``multiprocessing``, or ``concurrent.futures`` outside those packages
+is a violation, so the repo's entire concurrency surface stays
+auditable in two directories that never compute a simulated quantity.
 """
 
 from __future__ import annotations
@@ -26,11 +28,14 @@ __all__ = ["ConcurrencyRule"]
 #: module families that create host-level concurrency
 _BANNED_ROOTS = ("threading", "multiprocessing", "concurrent")
 
-#: the single sanctioned concurrency package (path fragment match, both
-#: separators so Windows checkouts stay covered)
+#: the sanctioned concurrency packages (path fragment match, both
+#: separators so Windows checkouts stay covered): the cell executor and
+#: the serving layer that feeds it
 _ALLOWED_FRAGMENTS = (
     "repro/exec/",
     "repro\\exec\\",
+    "repro/serve/",
+    "repro\\serve\\",
 )
 
 
@@ -52,7 +57,8 @@ class ConcurrencyRule(Rule):
     name = "concurrency-door"
     rationale = (
         "host-level concurrency is nondeterministic; all of it lives in "
-        "repro/exec (the scheduler), never inside the simulation"
+        "repro/exec (the scheduler) and repro/serve (the daemon), never "
+        "inside the simulation"
     )
 
     def check(self, module: SourceModule) -> Iterator[Violation]:
@@ -74,6 +80,7 @@ class ConcurrencyRule(Rule):
         return self.violation(
             module,
             node,
-            f"concurrency import {name!r} outside repro/exec — cells "
-            f"parallelize through the executor, never inside the model",
+            f"concurrency import {name!r} outside repro/exec and "
+            f"repro/serve — cells parallelize through the executor, "
+            f"never inside the model",
         )

@@ -227,16 +227,75 @@ def _render_scheduler_summary(journal: Journal, top: int) -> str:
     return "\n".join(lines)
 
 
+def _render_server_summary(journal: Journal, top: int) -> str:
+    """The serve daemon's story: queue, hit-rate, latency, per-client bill.
+
+    ``repro serve`` writes ``_server.jsonl`` at shutdown; its spans are
+    host-clock per-job service records, its counters the serving
+    tallies, and meta carries the latency percentiles and each client's
+    simulated bill.
+    """
+    meta = journal.meta
+    lines = [
+        f"server {meta.get('address', '?')} — {meta.get('jobs', '?')} jobs "
+        f"from {meta.get('clients', '?')} clients · "
+        f"{meta.get('cells', '?')} cells · "
+        f"{meta.get('rejected', '?')} rejected"
+    ]
+    hit_rate = meta.get("cache_hit_rate")
+    lines.append(
+        f"  cache: {meta.get('cache_hits', '?')} hits · "
+        f"{meta.get('executed', '?')} executed"
+        + (f" · hit-rate {float(hit_rate):.2f}"
+           if isinstance(hit_rate, (int, float)) else "")
+    )
+    p50, p99 = meta.get("p50_latency"), meta.get("p99_latency")
+    if isinstance(p50, (int, float)) and isinstance(p99, (int, float)):
+        lines.append(
+            f"  latency p50 {_fmt_seconds(float(p50))} · "
+            f"p99 {_fmt_seconds(float(p99))} (host, submit-to-finish)"
+        )
+    dollars = meta.get("dollars")
+    if isinstance(dollars, (int, float)) and dollars:
+        lines.append(f"  served cost ${float(dollars):.4f} (simulated)")
+    per_client = meta.get("per_client")
+    if isinstance(per_client, dict) and per_client:
+        ranked = sorted(
+            per_client.items(),
+            key=lambda kv: (-float(kv[1].get("dollars", 0.0)), kv[0]),
+        )
+        lines.append(f"  top {min(top, len(ranked))} clients by bill:")
+        for client, account in ranked[:top]:
+            lines.append(
+                f"    {client:<24s} {float(account.get('jobs', 0)):3.0f} jobs"
+                f" · {float(account.get('cells', 0)):4.0f} cells · "
+                f"${float(account.get('dollars', 0.0)):.4f}"
+            )
+    hot = _hot_spans(journal.spans(), top)
+    if hot:
+        lines.append(f"  top {len(hot)} server spans by self time (host):")
+        for label, count, span_total, self_time in hot:
+            lines.append(
+                f"    {label:<24s} x{count:<5d} self "
+                f"{_fmt_seconds(self_time):>8s} · total "
+                f"{_fmt_seconds(span_total)}"
+            )
+    return "\n".join(lines)
+
+
 def render_summary(journal: Journal, top: int = 5) -> str:
     """The terminal timeline: phases, supersteps, and the hot spans.
 
-    Scheduler journals (``_scheduler.jsonl``) get their own shape: the
-    cache/retry counters and the grid's aggregated cost instead of the
-    per-run phase bars.
+    Scheduler journals (``_scheduler.jsonl``) and server journals
+    (``_server.jsonl``) get their own shapes: cache/retry counters and
+    the grid's aggregated cost, or the serving queue/latency/bill view,
+    instead of the per-run phase bars.
     """
     meta = journal.meta
     if meta.get("kind") == "scheduler":
         return _render_scheduler_summary(journal, top)
+    if meta.get("kind") == "server":
+        return _render_server_summary(journal, top)
     spans = journal.spans()
     run_spans = [s for s in spans if s.get("cat") == "run"]
     total = run_spans[0]["dur"] if run_spans else sum(

@@ -29,6 +29,7 @@ __all__ = [
     "ReportError",
     "RunRow",
     "SchedulerRow",
+    "ServerRow",
     "PerfSource",
     "classify_path",
     "load_source",
@@ -41,6 +42,7 @@ __all__ = [
 
 KIND_JOURNAL = "journal"
 KIND_SCHEDULER = "scheduler-journal"
+KIND_SERVER = "server-journal"
 KIND_TRACE_DIR = "trace-dir"
 KIND_BENCH = "bench"
 KIND_BENCH_HISTORY = "bench-history"
@@ -65,6 +67,8 @@ def _classify_event(event: dict, source: str) -> str:
     if event.get("type") == "meta":
         if event.get("kind") == "scheduler":
             return KIND_SCHEDULER
+        if event.get("kind") == "server":
+            return KIND_SERVER
         return KIND_JOURNAL
     if "system" in event and "workload" in event:
         return KIND_LEGACY_LOG
@@ -140,12 +144,30 @@ class SchedulerRow:
 
 
 @dataclass
+class ServerRow:
+    """One ``_server.jsonl``: a serve daemon's lifetime aggregates."""
+
+    jobs: int
+    rejected: int
+    cells: int
+    cache_hits: int
+    executed: int
+    cache_hit_rate: float
+    dollars: float
+    clients: int
+    p50_latency: float
+    p99_latency: float
+    per_client: Dict[str, Dict[str, float]]
+
+
+@dataclass
 class PerfSource:
     """Everything one input path contributed to the report."""
 
     label: str
     runs: List[RunRow] = field(default_factory=list)
     schedulers: List[SchedulerRow] = field(default_factory=list)
+    servers: List[ServerRow] = field(default_factory=list)
     benches: List[dict] = field(default_factory=list)
 
 
@@ -207,6 +229,24 @@ def _scheduler_row(journal: Journal) -> SchedulerRow:
     )
 
 
+def _server_row(journal: Journal) -> ServerRow:
+    meta = journal.meta
+    per_client = meta.get("per_client")
+    return ServerRow(
+        jobs=int(meta.get("jobs", 0)),  # type: ignore[arg-type]
+        rejected=int(meta.get("rejected", 0)),  # type: ignore[arg-type]
+        cells=int(meta.get("cells", 0)),  # type: ignore[arg-type]
+        cache_hits=int(meta.get("cache_hits", 0)),  # type: ignore[arg-type]
+        executed=int(meta.get("executed", 0)),  # type: ignore[arg-type]
+        cache_hit_rate=float(meta.get("cache_hit_rate", 0.0)),  # type: ignore[arg-type]
+        dollars=float(meta.get("dollars", 0.0)),  # type: ignore[arg-type]
+        clients=int(meta.get("clients", 0)),  # type: ignore[arg-type]
+        p50_latency=float(meta.get("p50_latency", 0.0)),  # type: ignore[arg-type]
+        p99_latency=float(meta.get("p99_latency", 0.0)),  # type: ignore[arg-type]
+        per_client=per_client if isinstance(per_client, dict) else {},
+    )
+
+
 def _assign_keys(rows: List[RunRow]) -> None:
     """Stable, unique run keys: coordinates plus a #n dedup suffix."""
     seen: Dict[str, int] = {}
@@ -246,12 +286,16 @@ def load_source(path: Union[str, Path]) -> PerfSource:
             journal = Journal.read(file)
             if journal.meta.get("kind") == "scheduler":
                 source.schedulers.append(_scheduler_row(journal))
+            elif journal.meta.get("kind") == "server":
+                source.servers.append(_server_row(journal))
             else:
                 source.runs.append(_run_row_from_journal(journal))
     elif kind == KIND_JOURNAL:
         source.runs.append(_run_row_from_journal(Journal.read(p)))
     elif kind == KIND_SCHEDULER:
         source.schedulers.append(_scheduler_row(Journal.read(p)))
+    elif kind == KIND_SERVER:
+        source.servers.append(_server_row(Journal.read(p)))
     elif kind == KIND_BENCH:
         source.benches.append(json.loads(p.read_text(encoding="ascii")))
     elif kind == KIND_BENCH_HISTORY:
@@ -406,6 +450,40 @@ def _render_schedulers(schedulers: Sequence[SchedulerRow]) -> List[str]:
     return lines
 
 
+def _render_servers(servers: Sequence[ServerRow]) -> List[str]:
+    lines = ["### Serving", ""]
+    for row in servers:
+        lines.append(
+            f"- {row.jobs} jobs from {row.clients} clients · "
+            f"{row.cells} cells ({row.cache_hits} cached, "
+            f"{row.executed} executed, hit-rate "
+            f"{row.cache_hit_rate:.2f}) · {row.rejected} rejected · "
+            f"p50 {row.p50_latency * 1000:.0f} ms · "
+            f"p99 {row.p99_latency * 1000:.0f} ms · "
+            f"${row.dollars:.4f}"
+        )
+    billed = [row for row in servers if row.per_client]
+    if billed:
+        lines += [""]
+        rows = []
+        for i, row in enumerate(billed):
+            for client in sorted(row.per_client):
+                account = row.per_client[client]
+                rows.append((
+                    str(i) if len(billed) > 1 else "",
+                    client,
+                    f"{float(account.get('jobs', 0.0)):.0f}",
+                    f"{float(account.get('cells', 0.0)):.0f}",
+                    f"{float(account.get('dollars', 0.0)):.4f}",
+                ))
+        header = ("#", "client", "jobs", "cells", "$")
+        if len(billed) == 1:
+            header = header[1:]
+            rows = [row[1:] for row in rows]
+        lines += _table(header, rows)
+    return lines
+
+
 def _bench_field(record: dict, name: str) -> Optional[float]:
     value = record.get(name)
     if value is None and name == "speedup_warm":
@@ -413,7 +491,38 @@ def _bench_field(record: dict, name: str) -> Optional[float]:
     return None if value is None else float(value)
 
 
+def _render_serve_benches(benches: Sequence[dict]) -> List[str]:
+    lines = ["### Serve bench records", ""]
+    header = ("#", "clients", "jobs", "cells", "hit-rate", "p50 ms",
+              "p99 ms", "$", "bit-equal")
+    rows = []
+    for i, record in enumerate(benches):
+        def ms(name: str) -> str:
+            value = record.get(name)
+            return "-" if value is None else f"{float(value) * 1000:.0f}"
+
+        dollars = record.get("cost_dollars")
+        hit_rate = record.get("cache_hit_rate")
+        rows.append((
+            str(i),
+            str(record.get("clients", "-")),
+            str(record.get("jobs", "-")),
+            str(record.get("cells", "-")),
+            "-" if hit_rate is None else f"{float(hit_rate):.2f}",
+            ms("p50_latency"),
+            ms("p99_latency"),
+            "-" if dollars is None else f"{float(dollars):.2f}",
+            str(record.get("bit_equal_spotcheck", "-")),
+        ))
+    lines += _table(header, rows)
+    return lines
+
+
 def _render_benches(benches: Sequence[dict]) -> List[str]:
+    serve = [b for b in benches if b.get("bench") == "serve"]
+    benches = [b for b in benches if b.get("bench") != "serve"]
+    if not benches:
+        return _render_serve_benches(serve)
     lines = ["### Bench records", ""]
     header = ("#", "schema", "cells", "jobs", "jobs1 s", "cold s",
               "warm s", "par x", "warm x")
@@ -439,6 +548,8 @@ def _render_benches(benches: Sequence[dict]) -> List[str]:
             "-" if warm is None else f"{warm:.2f}",
         ))
     lines += _table(header, rows)
+    if serve:
+        lines += [""] + _render_serve_benches(serve)
     return lines
 
 
@@ -454,6 +565,8 @@ def render_report(sources: Sequence[PerfSource], top: int = 10) -> str:
                 lines += [""] + hot
         if source.schedulers:
             lines += [""] + _render_schedulers(source.schedulers)
+        if source.servers:
+            lines += [""] + _render_servers(source.servers)
         if source.benches:
             lines += [""] + _render_benches(source.benches)
     return "\n".join(lines)
@@ -493,6 +606,7 @@ class PerfDiff:
     added: List[str] = field(default_factory=list)
     compared_runs: int = 0
     compared_benches: int = 0
+    compared_servers: int = 0
 
     @property
     def regressions(self) -> List[DiffEntry]:
@@ -512,8 +626,10 @@ class PerfDiff:
             f"# Perf diff — {self.label_a} vs {self.label_b}",
             "",
             f"compared {self.compared_runs} runs, "
-            f"{self.compared_benches} bench records · time threshold "
-            f"±{self.threshold:.1%} · cost threshold "
+            f"{self.compared_benches} bench records"
+            + (f", {self.compared_servers} server journals"
+               if self.compared_servers else "")
+            + f" · time threshold ±{self.threshold:.1%} · cost threshold "
             f"±{self.cost_threshold:.1%}",
         ]
         regressions = self.regressions
@@ -571,10 +687,11 @@ def diff_sources(
 ) -> PerfDiff:
     """Compare two inputs; ``b`` regressing past a threshold gates CI.
 
-    Runs pair by coordinate key, bench records by position. Time and
-    dollars regress when they *rise* by more than the relative
-    threshold; speedups regress when they *fall*. A run that completed
-    in ``a`` but failed in ``b`` is always a regression.
+    Runs pair by coordinate key, bench records and server journals by
+    position. Time, dollars, and serving latency percentiles regress
+    when they *rise* by more than the relative threshold; speedups and
+    the serving cache hit-rate regress when they *fall*. A run that
+    completed in ``a`` but failed in ``b`` is always a regression.
     """
     diff = PerfDiff(
         label_a=a.label,
@@ -602,9 +719,33 @@ def diff_sources(
         if ra.cost is not None and rb.cost is not None:
             _compare(diff, key, "dollars", float(ra.cost["dollars"]),
                      float(rb.cost["dollars"]), diff.cost_threshold)
+    for i, (sa, sb) in enumerate(zip(a.servers, b.servers)):
+        key = f"server[{i}]"
+        diff.compared_servers += 1
+        _compare(diff, key, "p50 latency seconds", sa.p50_latency,
+                 sb.p50_latency, threshold, fmt=".4f")
+        _compare(diff, key, "p99 latency seconds", sa.p99_latency,
+                 sb.p99_latency, threshold, fmt=".4f")
+        _compare(diff, key, "cache hit-rate", sa.cache_hit_rate,
+                 sb.cache_hit_rate, threshold, worse="lower", fmt=".3f")
+        _compare(diff, key, "dollars", sa.dollars, sb.dollars,
+                 diff.cost_threshold)
     for i, (ba, bb) in enumerate(zip(a.benches, b.benches)):
         key = f"bench:{ba.get('bench', '?')}[{i}]"
         diff.compared_benches += 1
+        if ba.get("bench") == "serve" or bb.get("bench") == "serve":
+            for name, worse, gate in (
+                ("p50_latency", "higher", threshold),
+                ("p99_latency", "higher", threshold),
+                ("cache_hit_rate", "lower", threshold),
+                ("cost_dollars", "higher", diff.cost_threshold),
+            ):
+                va, vb = ba.get(name), bb.get(name)
+                if va is None or vb is None:
+                    continue
+                _compare(diff, key, name, float(va), float(vb), gate,
+                         worse=worse)
+            continue
         modes_a = ba.get("modes", {})
         modes_b = bb.get("modes", {})
         for mode in sorted(set(modes_a) & set(modes_b)):

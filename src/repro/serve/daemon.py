@@ -1,0 +1,356 @@
+"""The benchmark-as-a-service daemon: one socket, one warm cache, many clients.
+
+``repro serve`` starts a long-lived process that accepts experiment
+submissions over a local stream socket (a unix path, or ``host:port``
+on loopback for environments without ``AF_UNIX``). Connections are
+handled by a thread per client, but *all* execution funnels through a
+single scheduler thread holding one :class:`~repro.serve.queue.FairQueue`
+and one :class:`~repro.serve.scheduler.JobRunner` — so the shared cache
+is raced by nobody, the service order is exactly the queue's
+deterministic policy, and a served grid is bit-equal to the one-shot
+``repro grid`` a client would have run alone.
+
+Lifecycle of a submission::
+
+    submit ──admission──▶ queued ──fair order──▶ running ──▶ done
+        │ (queue-full → retry_after)                │
+        └──────────── cancel (queued only) ──▶ cancelled   failed
+
+Shutdown (the ``shutdown`` op, or :meth:`ServeDaemon.stop`) drains
+nothing: queued jobs stay queued until served or the process exits, and
+the daemon writes its own journal — ``_server.jsonl`` with meta
+``kind="server"``, per-job spans, and queue-wait/service/latency
+histograms — before returning, so every serving session leaves the same
+evidence trail a grid run does.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..obs import Tracer
+from ..obs.hostclock import host_now
+from .protocol import (
+    JOB_QUEUED,
+    JOB_RUNNING,
+    OPS,
+    PROTOCOL_VERSION,
+    Job,
+    JobRequest,
+    ProtocolError,
+    error_response,
+    ok_response,
+    recv_message,
+    send_message,
+)
+from .queue import FairQueue
+from .scheduler import JobRunner
+from .stats import ServerStats, server_observation
+
+__all__ = ["ServeDaemon", "parse_address", "DEFAULT_SOCKET"]
+
+#: the CLI's default rendezvous point, relative to the working directory
+DEFAULT_SOCKET = ".repro-serve.sock"
+
+#: how long the scheduler dozes between wake-up checks when idle
+_IDLE_WAIT = 0.2
+
+
+def parse_address(text: str) -> Tuple[str, object]:
+    """Classify an address string: a unix socket path or ``host:port``.
+
+    Anything containing a path separator (or with no ``:`` at all) is a
+    filesystem path; ``host:port`` with a numeric port is TCP on that
+    interface (use ``127.0.0.1:0`` to let the OS pick a test port).
+    """
+    if "/" in text or ":" not in text:
+        return ("unix", text)
+    host, _, port = text.rpartition(":")
+    try:
+        return ("tcp", (host, int(port)))
+    except ValueError:
+        return ("unix", text)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connected client: a request/response loop until EOF."""
+
+    def handle(self) -> None:
+        daemon: "ServeDaemon" = self.server.serve_daemon  # type: ignore[attr-defined]
+        while True:
+            try:
+                message = recv_message(self.rfile)
+            except ProtocolError as exc:
+                # the stream may be desynchronized: answer once, hang up
+                send_message(self.wfile, error_response("protocol", str(exc)))
+                return
+            if message is None:
+                return
+            try:
+                response = daemon.dispatch(message)
+            except ProtocolError as exc:
+                response = error_response("protocol", str(exc))
+            try:
+                send_message(self.wfile, response)
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if message.get("op") == "shutdown" and response.get("ok"):
+                return
+
+
+class _TcpServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "UnixStreamServer"):
+    class _UnixServer(socketserver.ThreadingMixIn,
+                      socketserver.UnixStreamServer):
+        daemon_threads = True
+else:  # pragma: no cover - platforms without AF_UNIX
+    _UnixServer = None  # type: ignore[assignment,misc]
+
+
+class ServeDaemon:
+    """The serving process: socket front, fair queue, one executor thread."""
+
+    def __init__(
+        self,
+        address: str = DEFAULT_SOCKET,
+        cache: Union[None, str, Path] = None,
+        jobs: int = 1,
+        max_queue_cells: int = 256,
+        journal_path: Union[None, str, Path] = None,
+    ) -> None:
+        self.journal_path = Path(journal_path) if journal_path else None
+        self.start_host = host_now()
+        self.tracer = Tracer(lambda: host_now() - self.start_host)
+        self.stats = ServerStats(start_host=self.start_host)
+        self.runner = JobRunner(cache, jobs=jobs)
+        self.queue = FairQueue(max_cells=max_queue_cells)
+        #: one lock for queue + registry + stats; scheduler waits on it
+        self.cond = threading.Condition()
+        self.jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self._stopping = False
+        self._scheduler: Optional[threading.Thread] = None
+        self._server_thread: Optional[threading.Thread] = None
+
+        kind, target = parse_address(address)
+        if kind == "unix":
+            if _UnixServer is None:  # pragma: no cover
+                raise OSError("AF_UNIX is unavailable; use host:port")
+            path = Path(target)
+            if path.exists():
+                path.unlink()
+            self.server = _UnixServer(str(target), _Handler)
+            self.address = str(target)
+            self._socket_path: Optional[Path] = path
+        else:
+            self.server = _TcpServer(tuple(target), _Handler)
+            host, port = self.server.server_address[:2]
+            self.address = f"{host}:{port}"
+            self._socket_path = None
+        self.server.serve_daemon = self  # type: ignore[attr-defined]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ServeDaemon":
+        """Run the socket loop and scheduler in background threads."""
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="serve-scheduler", daemon=True
+        )
+        self._scheduler.start()
+        self._server_thread = threading.Thread(
+            target=self.server.serve_forever, name="serve-socket", daemon=True
+        )
+        self._server_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run until a ``shutdown`` op arrives (the ``repro serve`` path)."""
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="serve-scheduler", daemon=True
+        )
+        self._scheduler.start()
+        try:
+            self.server.serve_forever()
+        finally:
+            self._finish()
+
+    def stop(self) -> None:
+        """Stop accepting, finish the running job, write the journal."""
+        self.server.shutdown()
+        self._finish()
+
+    def _finish(self) -> None:
+        with self.cond:
+            self._stopping = True
+            self.cond.notify_all()
+        if self._scheduler is not None:
+            self._scheduler.join()
+        self.server.server_close()
+        if self._socket_path is not None and self._socket_path.exists():
+            self._socket_path.unlink()
+        if self.journal_path is not None:
+            self.write_journal(self.journal_path)
+
+    def write_journal(self, path: Union[str, Path]) -> Path:
+        """Write ``_server.jsonl`` for this serving session."""
+        obs = server_observation(self.stats, self.address, tracer=self.tracer)
+        path = Path(path)
+        obs.journal().write(path)
+        return path
+
+    # -- the scheduler thread ----------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self.cond:
+                while not self._stopping and len(self.queue) == 0:
+                    self.cond.wait(timeout=_IDLE_WAIT)
+                if self._stopping:
+                    return
+                job = self.queue.take()
+                if job is None:
+                    continue
+                job.state = JOB_RUNNING
+                job.started_host = host_now()
+            request = job.request
+            with self.tracer.span(
+                "job", cat="serve", job=job.id, client=request.client,
+                cells=request.cells, priority=request.priority,
+            ):
+                self.runner.run_job(job, on_cell=self._on_cell)
+            with self.cond:
+                job.finished_host = host_now()
+                self.stats.record_job(job)
+                self.cond.notify_all()
+
+    def _on_cell(self, job: Job) -> None:
+        """Wake result-stream waiters after every appended payload."""
+        with self.cond:
+            self.cond.notify_all()
+
+    # -- protocol dispatch --------------------------------------------------
+
+    def dispatch(self, message: dict) -> dict:
+        """Answer one request frame (called from handler threads)."""
+        op = message.get("op")
+        if op not in OPS:
+            return error_response("unknown-op", f"unknown op {op!r}")
+        return getattr(self, f"_op_{op}")(message)
+
+    def _job_for(self, message: dict) -> Job:
+        job_id = message.get("job")
+        job = self.jobs.get(job_id) if isinstance(job_id, str) else None
+        if job is None:
+            raise ProtocolError(f"unknown job {job_id!r}")
+        return job
+
+    def _op_ping(self, message: dict) -> dict:
+        return ok_response(version=PROTOCOL_VERSION, address=self.address)
+
+    def _op_submit(self, message: dict) -> dict:
+        request = JobRequest.from_dict(message.get("job"))
+        with self.cond:
+            retry_after = None
+            if not self._stopping:
+                self._seq += 1
+                job = Job(
+                    id=f"j-{self._seq:06d}", request=request, seq=self._seq,
+                    submitted_host=host_now(),
+                )
+                retry_after = self.queue.offer(job)
+            else:
+                return error_response("shutting-down", "daemon is stopping")
+            if retry_after is not None:
+                self._seq -= 1  # rejected submissions do not consume ids
+                self.stats.record_rejection(request.client)
+                return error_response(
+                    "queue-full",
+                    f"queue holds {self.queue.backlog_cells()} of "
+                    f"{self.queue.max_cells} cells",
+                    retry_after=retry_after,
+                )
+            self.jobs[job.id] = job
+            position = self.queue.position(job.id)
+            self.cond.notify_all()
+        return ok_response(job=job.id, position=position, cells=request.cells)
+
+    def _op_status(self, message: dict) -> dict:
+        with self.cond:
+            job = self._job_for(message)
+            position = (self.queue.position(job.id)
+                        if job.state == JOB_QUEUED else None)
+            return ok_response(**job.status_dict(position=position))
+
+    def _op_results(self, message: dict) -> dict:
+        after = message.get("after", 0)
+        if not isinstance(after, int) or isinstance(after, bool) or after < 0:
+            raise ProtocolError(f"bad results cursor {after!r}")
+        with self.cond:
+            job = self._job_for(message)
+            payloads = list(job.payloads[after:])
+            next_cursor = after + len(payloads)
+            return ok_response(
+                job=job.id, state=job.state, payloads=payloads,
+                next=next_cursor,
+                complete=job.done and next_cursor >= len(job.payloads),
+                error_message=job.error,
+            )
+
+    def _op_wait(self, message: dict) -> dict:
+        timeout = message.get("timeout", 300.0)
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise ProtocolError(f"bad wait timeout {timeout!r}")
+        deadline = host_now() + float(timeout)
+        with self.cond:
+            job = self._job_for(message)
+            while not job.done:
+                remaining = deadline - host_now()
+                if remaining <= 0:
+                    return error_response(
+                        "timeout", f"job {job.id} still {job.state}",
+                        **job.status_dict(),
+                    )
+                self.cond.wait(timeout=min(remaining, _IDLE_WAIT))
+            return ok_response(**job.status_dict())
+
+    def _op_cancel(self, message: dict) -> dict:
+        with self.cond:
+            job = self._job_for(message)
+            if job.done:
+                return error_response(
+                    "not-cancellable", f"job {job.id} already {job.state}"
+                )
+            if job.state == JOB_RUNNING:
+                return error_response(
+                    "not-cancellable", f"job {job.id} is running"
+                )
+            self.queue.cancel(job.id)
+            self.stats.record_job(job)
+            self.cond.notify_all()
+            return ok_response(**job.status_dict())
+
+    def _op_stats(self, message: dict) -> dict:
+        with self.cond:
+            return ok_response(
+                stats=self.stats.snapshot(),
+                queue={
+                    "depth": len(self.queue),
+                    "backlog_cells": self.queue.backlog_cells(),
+                    "max_cells": self.queue.max_cells,
+                },
+                uptime=host_now() - self.start_host,
+            )
+
+    def _op_shutdown(self, message: dict) -> dict:
+        # stop the accept loop from a helper thread: shutdown() blocks
+        # until serve_forever() returns, and this handler must still
+        # write its response on the dying connection first
+        threading.Thread(target=self.server.shutdown, daemon=True).start()
+        return ok_response(stopping=True)

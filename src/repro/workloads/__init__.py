@@ -9,7 +9,8 @@ from .reference import (
     reference_sssp,
     reference_wcc,
 )
-from .sssp import SSSP, KHop
+from .khop import KHop
+from .sssp import SSSP
 from .wcc import WCC, HashToMinWCC
 
 __all__ = [

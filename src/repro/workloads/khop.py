@@ -1,0 +1,66 @@
+"""K-hop neighbourhood queries (§3.3) — the paper's fourth workload.
+
+K-hop is SSSP truncated at K hops (the paper fixes K=3, the
+friends-of-friends regime): at iteration i the frontier holds the
+vertices exactly i hops from the source, so the query runs K supersteps
+regardless of graph diameter — which is what makes it cheap even on the
+road network, where full SSSP pays hundreds of iterations.
+
+Like SSSP it uses one fixed source per dataset (a single
+random-but-fixed start vertex, §3.3), and its answers validate against
+:func:`repro.workloads.reference.reference_khop`. The answer array is
+the truncated distance vector: hop counts within the horizon, infinity
+beyond it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.structures import Graph
+from .base import SuperstepStats, WorkloadState
+from .sssp import SSSP
+
+__all__ = ["KHop"]
+
+
+class KHop(SSSP):
+    """SSSP truncated at K hops (K=3 in all the paper's experiments)."""
+
+    name = "khop"
+
+    def __init__(self, source: int = 0, k: int = 3) -> None:
+        super().__init__(source=source)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+
+    def init_state(self, graph: Graph) -> WorkloadState:
+        """K=0 answers immediately: only the source is reachable."""
+        state = super().init_state(graph)
+        if self.k == 0:
+            state.done = True
+        return state
+
+    def superstep(self, graph: Graph, state: WorkloadState) -> SuperstepStats:
+        """A BFS step, stopping after K iterations regardless of frontier."""
+        stats = super().superstep(graph, state)
+        if state.iteration >= self.k:
+            state.done = True
+            stats = SuperstepStats(
+                iteration=stats.iteration,
+                active_vertices=stats.active_vertices,
+                messages=stats.messages,
+                updates=stats.updates,
+                converged=True,
+            )
+            state.history[-1] = stats
+        return stats
+
+    def reachable_count(self, state: WorkloadState) -> int:
+        """Vertices within K hops of the source (the query's answer size)."""
+        return int(np.count_nonzero(np.isfinite(state.values)))
+
+    def result_bytes_from_state(self, graph: Graph, state: WorkloadState) -> int:
+        """K-hop answers are small: only reached vertices are written."""
+        return self.result_bytes_per_vertex() * max(1, self.reachable_count(state))

@@ -1,12 +1,12 @@
-"""Single-source shortest paths and K-hop (§3.3).
+"""Single-source shortest paths (§3.3).
 
 SSSP is a BFS-style traversal: at iteration i the frontier holds the
 vertices i hops from the source, so the iteration count is bounded by
-the source's eccentricity — O(diameter). K-hop is SSSP truncated at K
-(the paper fixes K=3, the friends-of-friends regime), which is what
-makes it diameter-insensitive and thus cheap even on the road network.
+the source's eccentricity — O(diameter). The paper's fourth workload,
+K-hop, subclasses this traversal truncated at K hops; it lives in
+:mod:`repro.workloads.khop`.
 
-Both use one fixed source per dataset, matching the paper's protocol
+SSSP uses one fixed source per dataset, matching the paper's protocol
 of a single random-but-fixed start vertex (§3.3). Unreachable vertices
 keep distance infinity.
 """
@@ -18,7 +18,7 @@ import numpy as np
 from ..graph.structures import Graph
 from .base import SuperstepStats, Workload, WorkloadKind, WorkloadState
 
-__all__ = ["SSSP", "KHop"]
+__all__ = ["SSSP"]
 
 
 class SSSP(Workload):
@@ -74,44 +74,3 @@ class SSSP(Workload):
         state.history.append(stats)
         return stats
 
-
-class KHop(SSSP):
-    """SSSP truncated at K hops (K=3 in all the paper's experiments)."""
-
-    name = "khop"
-
-    def __init__(self, source: int = 0, k: int = 3) -> None:
-        super().__init__(source=source)
-        if k < 0:
-            raise ValueError("k must be non-negative")
-        self.k = k
-
-    def init_state(self, graph: Graph) -> WorkloadState:
-        """K=0 answers immediately: only the source is reachable."""
-        state = super().init_state(graph)
-        if self.k == 0:
-            state.done = True
-        return state
-
-    def superstep(self, graph: Graph, state: WorkloadState) -> SuperstepStats:
-        """A BFS step, stopping after K iterations regardless of frontier."""
-        stats = super().superstep(graph, state)
-        if state.iteration >= self.k:
-            state.done = True
-            stats = SuperstepStats(
-                iteration=stats.iteration,
-                active_vertices=stats.active_vertices,
-                messages=stats.messages,
-                updates=stats.updates,
-                converged=True,
-            )
-            state.history[-1] = stats
-        return stats
-
-    def reachable_count(self, state: WorkloadState) -> int:
-        """Vertices within K hops of the source (the query's answer size)."""
-        return int(np.count_nonzero(np.isfinite(state.values)))
-
-    def result_bytes_from_state(self, graph: Graph, state: WorkloadState) -> int:
-        """K-hop answers are small: only reached vertices are written."""
-        return self.result_bytes_per_vertex() * max(1, self.reachable_count(state))

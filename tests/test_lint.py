@@ -469,6 +469,15 @@ def test_rpl009_allowlists_the_executor_package():
     assert found == []
 
 
+def test_rpl009_allowlists_the_serving_package():
+    found = lint_source(
+        "import threading\nimport socketserver\n",
+        path="src/repro/serve/daemon.py",
+        rules=select_rules(["RPL009"]),
+    )
+    assert found == []
+
+
 def test_rpl009_ignores_relative_and_unrelated_imports():
     found = run(
         """
@@ -481,9 +490,10 @@ def test_rpl009_ignores_relative_and_unrelated_imports():
     assert found == []
 
 
-def test_rpl009_src_repro_has_one_concurrency_door():
+def test_rpl009_src_repro_has_only_sanctioned_concurrency_doors():
     # the repo-level contract: every concurrency import in src/repro
-    # lives under repro/exec/ (lint_paths on the real tree proves it)
+    # lives under repro/exec/ or repro/serve/ (lint_paths on the real
+    # tree proves it)
     violations = lint_paths([SRC_REPRO], rules=select_rules(["RPL009"]))
     assert violations == []
 

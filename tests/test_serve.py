@@ -1,0 +1,438 @@
+"""repro.serve: the benchmark-as-a-service daemon.
+
+The serving guarantees everything else leans on: the fair queue's
+deterministic service order (strict priorities, weighted shares,
+admission control), the typed protocol's validation and framing, and —
+above all — that a served grid is *bit-equal* to the one-shot executor
+run the client would have computed alone (``same_results`` plus
+byte-identical per-cell journals), with overlapping submissions served
+from the shared warm cache instead of recomputed.
+"""
+
+import json
+
+import pytest
+
+from repro.core.runner import ExperimentSpec, run_grid
+from repro.exec.executor import execute_specs
+from repro.exec.serialize import result_to_payload
+from repro.obs import Journal, render_summary
+from repro.obs import report as perf
+from repro.serve import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    FairQueue,
+    Job,
+    JobRequest,
+    ProtocolError,
+    ServeClient,
+    ServeDaemon,
+    ServeError,
+    ServerStats,
+    grid_from_payloads,
+    parse_address,
+    percentile,
+    server_observation,
+)
+from repro.serve.protocol import dumps_message, recv_message
+
+
+def request(client="alice", systems=("G",), workloads=("pagerank",),
+            datasets=("twitter",), sizes=(16,), priority=0, weight=1.0):
+    return JobRequest(
+        client=client, systems=tuple(systems), workloads=tuple(workloads),
+        datasets=tuple(datasets), cluster_sizes=tuple(sizes),
+        dataset_size="tiny", priority=priority, weight=weight,
+    )
+
+
+def job(seq, **kwargs):
+    return Job(id=f"j-{seq:06d}", request=request(**kwargs), seq=seq)
+
+
+# -- protocol ---------------------------------------------------------------
+
+
+def test_job_request_roundtrips_through_the_wire_form():
+    original = request(systems=("G", "BV"), sizes=(16, 32), priority=2,
+                       weight=1.5)
+    recovered = JobRequest.from_dict(original.to_dict())
+    assert recovered == original
+    assert recovered.cells == 4
+
+
+@pytest.mark.parametrize("field,value", [
+    ("systems", ("nope",)),
+    ("workloads", ("sorting",)),
+    ("datasets", ("imaginary",)),
+    ("cluster_sizes", (0,)),
+    ("cluster_sizes", (True,)),
+    ("weight", 0.0),
+    ("weight", -1.0),
+    ("priority", 1.5),
+])
+def test_job_request_validation_rejects_bad_coordinates(field, value):
+    payload = request().to_dict()
+    payload[field] = list(value) if isinstance(value, tuple) else value
+    with pytest.raises(ProtocolError):
+        JobRequest.from_dict(payload)
+
+
+def test_job_request_to_spec_matches_the_executor_shape():
+    spec = request(systems=("G", "BV"), sizes=(16,)).to_spec()
+    assert isinstance(spec, ExperimentSpec)
+    assert spec.systems == ("G", "BV")
+    assert spec.dataset_size == "tiny"
+
+
+def test_framing_is_canonical_and_roundtrips(tmp_path):
+    message = {"op": "ping", "b": 2, "a": 1}
+    frame = dumps_message(message)
+    assert frame == b'{"a":1,"b":2,"op":"ping"}\n'
+    path = tmp_path / "frame.bin"
+    path.write_bytes(frame + b"not json\n")
+    with open(path, "rb") as fh:
+        assert recv_message(fh) == {"a": 1, "b": 2, "op": "ping"}
+        with pytest.raises(ProtocolError):
+            recv_message(fh)
+        assert recv_message(fh) is None  # clean EOF
+
+
+def test_parse_address_classifies_unix_and_tcp():
+    assert parse_address("./serve.sock") == ("unix", "./serve.sock")
+    assert parse_address("plain-name") == ("unix", "plain-name")
+    assert parse_address("127.0.0.1:7070") == ("tcp", ("127.0.0.1", 7070))
+    assert parse_address("not:aport") == ("unix", "not:aport")
+
+
+# -- the fair queue ---------------------------------------------------------
+
+
+def test_higher_priority_always_preempts_queued_lower_priority():
+    queue = FairQueue(max_cells=64)
+    low = job(1, client="batch", priority=0)
+    high = job(2, client="urgent", priority=5)
+    assert queue.offer(low) is None
+    assert queue.offer(high) is None
+    assert queue.take() is high
+    assert queue.take() is low
+
+
+def test_weighted_fairness_gives_shares_proportional_to_weight():
+    # A (weight 2) and B (weight 1) interleave 1-cell submissions; over
+    # the first six services A must get exactly its 2:1 share
+    queue = FairQueue(max_cells=64)
+    seq = 0
+    for _ in range(4):
+        for client, weight in (("A", 2.0), ("B", 1.0)):
+            seq += 1
+            assert queue.offer(job(seq, client=client, weight=weight)) is None
+    served = [queue.take().request.client for _ in range(6)]
+    assert served.count("A") == 4
+    assert served.count("B") == 2
+    assert served[0] == "A"  # the lightest virtual-finish tag runs first
+
+
+def test_service_order_is_deterministic_via_the_seq_tiebreak():
+    queue = FairQueue(max_cells=64)
+    for seq in range(1, 4):
+        assert queue.offer(job(seq, client=f"c{seq}")) is None
+    # identical tags resolve by submission order, so the order is stable
+    assert [queue.take().seq for _ in range(3)] == [1, 2, 3]
+
+
+def test_clients_cannot_bank_idle_credit():
+    # a client that sat idle while others were served starts at the
+    # queue's virtual time, not at its stale last tag
+    queue = FairQueue(max_cells=64)
+    assert queue.offer(job(1, client="busy")) is None
+    assert queue.take().request.client == "busy"
+    assert queue.offer(job(2, client="busy")) is None
+    assert queue.offer(job(3, client="idle")) is None
+    busy, idle = queue.order()
+    # both started at the served vtime: tags are equal, seq breaks tie
+    assert (busy.request.client, idle.request.client) == ("busy", "idle")
+    assert busy.vfinish == idle.vfinish
+
+
+def test_admission_control_rejects_with_a_retry_hint():
+    queue = FairQueue(max_cells=4)
+    assert queue.offer(job(1, systems=("G", "BV"), sizes=(16,))) is None
+    retry = queue.offer(job(2, systems=("G", "BV", "S"), sizes=(16,)))
+    assert retry == pytest.approx(0.05)  # 1 overflow cell
+    assert len(queue) == 1  # the rejected job never entered
+    retry = queue.offer(job(3, systems=("G",) * 1, sizes=(16, 32, 64)))
+    assert retry == pytest.approx(0.05)
+    assert queue.offer(job(4)) is None  # 1 cell still fits
+
+
+def test_cancel_mid_queue_removes_the_job_from_service():
+    queue = FairQueue(max_cells=64)
+    keep, drop = job(1, client="keep"), job(2, client="drop")
+    assert queue.offer(keep) is None
+    assert queue.offer(drop) is None
+    assert queue.cancel(drop.id) is True
+    assert drop.state == JOB_CANCELLED
+    assert queue.position(drop.id) is None
+    assert [j.request.client for j in queue.order()] == ["keep"]
+    assert queue.take() is keep
+    assert queue.take() is None
+    assert queue.cancel(keep.id) is False  # no longer queued
+
+
+# -- stats ------------------------------------------------------------------
+
+
+def test_percentile_is_nearest_rank_and_member_of_sample():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert percentile(values, 50) == 3.0
+    assert percentile(values, 99) == 5.0
+    assert percentile(values, 100) == 5.0
+    assert percentile([], 50) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 0)
+
+
+def test_server_stats_aggregates_and_bills_per_client():
+    stats = ServerStats()
+    done = job(1, client="alice", systems=("G", "BV"))
+    done.state = JOB_DONE
+    done.submitted_host, done.started_host, done.finished_host = 1.0, 2.0, 4.0
+    done.cache_hits, done.executed, done.cost_dollars = 1, 1, 7.5
+    stats.record_job(done)
+    stats.record_rejection("bob")
+    snapshot = stats.snapshot()
+    assert snapshot["jobs"] == 1 and snapshot["rejected"] == 1
+    assert snapshot["cells"] == 2 and snapshot["cache_hit_rate"] == 0.5
+    assert snapshot["p50_latency"] == pytest.approx(3.0)
+    assert snapshot["p50_queue_wait"] == pytest.approx(1.0)
+    assert snapshot["per_client"]["alice"]["dollars"] == 7.5
+    assert snapshot["per_client"]["bob"]["jobs"] == 0.0
+
+
+def test_cancelled_jobs_count_but_never_bill_or_sample():
+    stats = ServerStats()
+    gone = job(1)
+    gone.state = JOB_CANCELLED
+    stats.record_job(gone)
+    snapshot = stats.snapshot()
+    assert snapshot["jobs_cancelled"] == 1
+    assert snapshot["cells"] == 0 and snapshot["dollars"] == 0.0
+    assert snapshot["p50_latency"] == 0.0
+
+
+# -- end-to-end: daemon + clients over a real socket ------------------------
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    # TCP on a kernel-chosen port: unix paths under pytest's tmp dirs
+    # can exceed the AF_UNIX 108-byte limit
+    server = ServeDaemon(
+        address="127.0.0.1:0",
+        cache=tmp_path / "cache",
+        max_queue_cells=64,
+        journal_path=tmp_path / "_server.jsonl",
+    ).start()
+    yield server
+    server.stop()
+
+
+def overlapping_specs():
+    """Three clients' grids sharing the (G, pagerank, twitter, 16) cell."""
+    return {
+        "alice": dict(systems=("G", "BV"), sizes=(16,)),
+        "bob": dict(systems=("G",), sizes=(16, 32)),
+        "carol": dict(systems=("G", "BV"), sizes=(16, 32)),
+    }
+
+
+def test_served_grids_are_bit_equal_to_the_oneshot_executor(daemon):
+    payloads_by_client = {}
+    for name, shape in overlapping_specs().items():
+        with ServeClient(daemon.address, client=name) as link:
+            job_id = link.submit(link.request(
+                workloads=("pagerank",), datasets=("twitter",),
+                dataset_size="tiny", systems=shape["systems"],
+                cluster_sizes=shape["sizes"]))
+            link.wait(job_id, timeout=120)
+            payloads_by_client[name] = link.fetch_payloads(job_id)
+
+    for name, shape in overlapping_specs().items():
+        served = grid_from_payloads(payloads_by_client[name])
+        oneshot = run_grid(ExperimentSpec(
+            systems=shape["systems"], workloads=("pagerank",),
+            datasets=("twitter",), cluster_sizes=shape["sizes"],
+            dataset_size="tiny"))
+        assert served.same_results(oneshot)
+
+    # byte-identical journals: the served payload carries the exact
+    # canonical journal text the one-shot executor would serialize
+    oneshot = execute_specs([ExperimentSpec(
+        systems=("G", "BV"), workloads=("pagerank",), datasets=("twitter",),
+        cluster_sizes=(16, 32), dataset_size="tiny")], jobs=1, cache=None)
+    expected = {
+        (r.system, r.cluster_size): result_to_payload(r)["journal"]
+        for r in oneshot.grid.cells.values()
+    }
+    for payload in payloads_by_client["carol"]:
+        record = payload["record"]
+        assert payload["journal"] == expected[
+            record["system"], record["cluster_size"]]
+
+
+def test_overlapping_submissions_hit_the_shared_cache(daemon):
+    with ServeClient(daemon.address, client="warm") as link:
+        first = link.submit(link.request(
+            systems=("G",), workloads=("pagerank",), datasets=("twitter",),
+            cluster_sizes=(16,), dataset_size="tiny"))
+        link.wait(first, timeout=120)
+    with ServeClient(daemon.address, client="reuse") as link:
+        second = link.submit(link.request(
+            systems=("G",), workloads=("pagerank",), datasets=("twitter",),
+            cluster_sizes=(16,), dataset_size="tiny"))
+        status = link.wait(second, timeout=120)
+        assert status["cache_hits"] == 1 and status["executed"] == 0
+        stats = link.stats()["stats"]
+    assert stats["cache_hit_rate"] == 0.5
+    assert stats["per_client"]["reuse"]["dollars"] == pytest.approx(
+        stats["per_client"]["warm"]["dollars"])
+
+
+def test_result_stream_resumes_from_a_cursor_across_connections(daemon):
+    with ServeClient(daemon.address, client="alice") as link:
+        job_id = link.submit(link.request(
+            systems=("G", "BV"), workloads=("pagerank",),
+            datasets=("twitter",), cluster_sizes=(16,), dataset_size="tiny"))
+        link.wait(job_id, timeout=120)
+        full = link.fetch_payloads(job_id)
+    assert len(full) == 2
+    # a brand-new connection re-attaches to the same job id and
+    # continues from an arbitrary cursor
+    with ServeClient(daemon.address, client="alice-again") as link:
+        tail = link.fetch_payloads(job_id, after=1)
+        assert tail == full[1:]
+        batch = link.results(job_id, after=2)
+        assert batch["payloads"] == [] and batch["complete"] is True
+
+
+def test_cancel_through_the_protocol_and_unknown_ops(daemon):
+    with ServeClient(daemon.address, client="alice") as link:
+        # unknown op and unknown job are protocol errors, not crashes
+        assert link.call({"op": "nonsense"})["error"] == "unknown-op"
+        with pytest.raises(ServeError):
+            link.status("j-999999")
+        job_id = link.submit(link.request(
+            systems=("G",), workloads=("pagerank",), datasets=("twitter",),
+            cluster_sizes=(16,), dataset_size="tiny"))
+        link.wait(job_id, timeout=120)
+        with pytest.raises(ServeError):  # terminal jobs are not cancellable
+            link.cancel(job_id)
+        assert link.ping()["version"] == 1
+
+
+def test_server_journal_classifies_renders_and_diffs(daemon, tmp_path):
+    with ServeClient(daemon.address, client="alice") as link:
+        job_id = link.submit(link.request(
+            systems=("G",), workloads=("pagerank",), datasets=("twitter",),
+            cluster_sizes=(16,), dataset_size="tiny"))
+        link.wait(job_id, timeout=120)
+    path = daemon.write_journal(tmp_path / "server.jsonl")
+
+    assert perf.classify_path(path) == perf.KIND_SERVER
+    summary = render_summary(Journal.read(path))
+    assert "server" in summary and "hit-rate" in summary
+
+    source = perf.load_source(path)
+    assert len(source.servers) == 1
+    row = source.servers[0]
+    assert row.jobs == 1 and row.cells == 1
+    assert "alice" in row.per_client
+    report = perf.render_report([source])
+    assert "### Serving" in report and "alice" in report
+
+    # the regression gate: a self-diff is clean, a degraded serving
+    # profile (slower p99, colder cache, higher bill) gates
+    clean = perf.diff_sources(source, perf.load_source(path))
+    assert clean.exit_code == 0 and clean.compared_servers == 1
+    worse = perf.load_source(path)
+    worse.servers[0].p99_latency *= 10
+    worse.servers[0].cache_hit_rate = 0.0
+    degraded = perf.diff_sources(source, worse)
+    assert degraded.exit_code == 1
+    metrics = {entry.metric for entry in degraded.regressions}
+    assert "p99 latency seconds" in metrics
+
+
+def test_rejected_submissions_back_off_and_eventually_land(tmp_path):
+    # a queue bounded at 2 cells forces queue-full responses while the
+    # scheduler drains; the client's retry loop must absorb them
+    server = ServeDaemon(
+        address="127.0.0.1:0", cache=tmp_path / "cache", max_queue_cells=2,
+    ).start()
+    try:
+        with ServeClient(server.address, client="pushy") as link:
+            ids = [
+                link.submit(link.request(
+                    systems=("G", "BV"), workloads=("pagerank",),
+                    datasets=("twitter",), cluster_sizes=(16,),
+                    dataset_size="tiny"))
+                for _ in range(4)
+            ]
+            for job_id in ids:
+                assert link.wait(job_id, timeout=120)["state"] == JOB_DONE
+            stats = link.stats()["stats"]
+        assert stats["jobs_done"] == 4
+    finally:
+        server.stop()
+
+
+def test_server_observation_meta_matches_the_snapshot():
+    stats = ServerStats()
+    done = job(1, client="alice")
+    done.state = JOB_DONE
+    done.submitted_host, done.started_host, done.finished_host = 0.0, 0.5, 1.0
+    done.executed, done.cost_dollars = 1, 2.5
+    stats.record_job(done)
+    obs = server_observation(stats, "127.0.0.1:1")
+    assert obs.meta["kind"] == "server"
+    assert obs.meta["dollars"] == 2.5
+    assert obs.metrics.value("serve.cells") == 1
+    journal = obs.journal()
+    assert Journal.loads(journal.dumps()).meta == journal.meta
+
+
+# -- loadgen ----------------------------------------------------------------
+
+
+def test_loadgen_is_seeded_deterministic_and_bit_equal(tmp_path):
+    from repro.serve.loadgen import run_loadgen
+
+    output = tmp_path / "BENCH_serve.json"
+    history = tmp_path / "history.jsonl"
+    record = run_loadgen(
+        clients=8, seed=11, dataset_size="tiny", max_queue_cells=16,
+        output=str(output), history=str(history),
+    )
+    assert record["bit_equal_spotcheck"] is True
+    assert record["jobs"] == 8
+    assert record["cells"] >= 8
+    assert record["executed"] == record["distinct_cells"]
+    assert record["cache_hit_rate"] == pytest.approx(
+        1.0 - record["distinct_cells"] / record["cells"])
+    written = json.loads(output.read_text())
+    assert written["bench"] == "serve"
+    assert len(history.read_text().splitlines()) == 1
+    # the record classifies and renders through the report stack
+    assert perf.classify_path(output) == perf.KIND_BENCH
+    report = perf.render_report([perf.load_source(output)])
+    assert "Serve bench records" in report
+
+    # same seed, same deterministic quantities (latencies are host-bound)
+    again = run_loadgen(
+        clients=8, seed=11, dataset_size="tiny", max_queue_cells=16,
+        output=None, history=str(tmp_path / "h2.jsonl"),
+    )
+    for field in ("cells", "distinct_cells", "executed", "cache_hit_rate",
+                  "cost_dollars"):
+        assert again[field] == record[field]
