@@ -24,7 +24,20 @@ The taxonomy (one class per row of the README's fault table):
                           re-replicated
 ``ckptcorrupt``           the most recent checkpoint is unreadable; the next
                           crash falls back to an older one (or to zero)
+``scaleout``              ``n_machines`` workers join the cluster *before*
+                          superstep ``at_superstep``; the engine repartitions
+                          per its Table 1 mechanism
+``scalein``               ``machines`` workers leave the cluster before
+                          superstep ``at_superstep``; survivors absorb the
+                          departed partitions (OOM is a legitimate outcome)
 ========================  ====================================================
+
+Most events fire on the simulated clock (``time``); the elasticity
+events fire on the *superstep counter* instead (``at_superstep``), so a
+rescale always lands exactly between two supersteps regardless of how
+long each engine's supersteps take. The ``trigger`` class attribute
+tells :class:`~repro.chaos.runtime.ChaosRuntime` which cursor an event
+belongs to.
 """
 
 from __future__ import annotations
@@ -41,6 +54,8 @@ __all__ = [
     "MessageLoss",
     "BlockLoss",
     "CheckpointCorruption",
+    "ScaleOut",
+    "ScaleIn",
     "EVENT_KINDS",
     "event_from_dict",
 ]
@@ -51,6 +66,9 @@ class ChaosEvent:
     """Base class: one scheduled fault on the simulated clock."""
 
     kind: ClassVar[str] = ""
+    #: which cursor fires the event: "time" (the simulated clock) or
+    #: "superstep" (the loop's iteration counter — elasticity events)
+    trigger: ClassVar[str] = "time"
 
     #: simulated seconds at which the event fires
     time: float = 0.0
@@ -165,6 +183,53 @@ class CheckpointCorruption(ChaosEvent):
     kind: ClassVar[str] = "ckptcorrupt"
 
 
+@dataclass(frozen=True)
+class ScaleOut(ChaosEvent):
+    """``n_machines`` workers join before superstep ``at_superstep``.
+
+    The engine pays its Table 1 mechanism's repartitioning bill (see
+    :meth:`~repro.engines.base.RecoveryModel.rescale`), then continues
+    on the larger cluster. Answers are unaffected by construction — the
+    workload computes on the real graph regardless of cluster size.
+    """
+
+    kind: ClassVar[str] = "scaleout"
+    trigger: ClassVar[str] = "superstep"
+
+    n_machines: int = 1
+    at_superstep: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.n_machines < 1:
+            raise ValueError("ScaleOut.n_machines must be >= 1")
+        if self.at_superstep < 1:
+            raise ValueError("ScaleOut.at_superstep must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScaleIn(ChaosEvent):
+    """``machines`` workers leave before superstep ``at_superstep``.
+
+    Survivors absorb the departed partitions; a cluster shrunk below
+    its memory needs OOMs, which is a legitimate experiment outcome.
+    The worker count never drops below one.
+    """
+
+    kind: ClassVar[str] = "scalein"
+    trigger: ClassVar[str] = "superstep"
+
+    machines: int = 1
+    at_superstep: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.machines < 1:
+            raise ValueError("ScaleIn.machines must be >= 1")
+        if self.at_superstep < 1:
+            raise ValueError("ScaleIn.at_superstep must be >= 1")
+
+
 EVENT_KINDS: Mapping[str, Type[ChaosEvent]] = {
     cls.kind: cls
     for cls in (
@@ -175,6 +240,8 @@ EVENT_KINDS: Mapping[str, Type[ChaosEvent]] = {
         MessageLoss,
         BlockLoss,
         CheckpointCorruption,
+        ScaleOut,
+        ScaleIn,
     )
 }
 

@@ -67,6 +67,16 @@ class CheckpointRecovery(RecoveryModel):
             ctx.checkpoints.pop()
             ctx.cluster.metrics.counter("checkpoints_corrupted").inc()
 
+    def rescale(self, ctx, event, old_workers, new_workers) -> None:
+        # a checkpointing system has no partition-migration protocol:
+        # the new cluster reloads everything from HDFS (input partitions
+        # plus the checkpointed state) and replays since the checkpoint
+        cluster = ctx.cluster
+        cluster.hdfs_read(ctx.dataset.profile.raw_size_bytes + ctx.state_bytes)
+        ckpt_time, ckpt_iteration = ctx.last_checkpoint
+        cluster.advance(max(0.0, cluster.now - ckpt_time))
+        ctx.count_replayed(max(0, ctx.iteration - ckpt_iteration))
+
 
 class ReexecutionRecovery(RecoveryModel):
     """Per-task re-execution (Hadoop/HaLoop): redo one iteration's shard."""
@@ -75,6 +85,18 @@ class ReexecutionRecovery(RecoveryModel):
 
     def recover_crash(self, ctx, event, machine) -> None:
         ctx.cluster.advance(max(0.0, ctx.cluster.now - ctx.superstep_start))
+        ctx.count_replayed(1)
+
+    def rescale(self, ctx, event, old_workers, new_workers) -> None:
+        # task-granular systems migrate only the moved shards: going
+        # from o to n workers relocates |n - o| / max(o, n) of the data
+        # (each machine owns 1/max share), shipped over the wire, then
+        # the interrupted iteration's tasks re-run on the new layout
+        cluster = ctx.cluster
+        moved = abs(new_workers - old_workers) / max(old_workers, new_workers)
+        nbytes = (ctx.dataset.profile.raw_size_bytes + ctx.state_bytes) * moved
+        if nbytes > 0.0:
+            cluster.shuffle(nbytes)
         ctx.count_replayed(1)
 
 
@@ -93,6 +115,12 @@ class RestartRecovery(RecoveryModel):
         ctx.cluster.advance(
             event.seconds + max(0.0, ctx.cluster.now - ctx.loop_start)
         )
+        ctx.count_replayed(ctx.iteration)
+
+    def rescale(self, ctx, event, old_workers, new_workers) -> None:
+        # no online membership change: the query aborts and the whole
+        # run restarts from zero on the resized cluster
+        ctx.cluster.advance(max(0.0, ctx.cluster.now - ctx.loop_start))
         ctx.count_replayed(ctx.iteration)
 
 

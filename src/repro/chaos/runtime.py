@@ -47,11 +47,24 @@ class ChaosRuntime:
     def __init__(self, plan: ChaosPlan, num_workers: int) -> None:
         self.plan = plan
         self.num_workers = max(1, num_workers)
+        # two cursors: clock-triggered events fire by simulated time,
+        # superstep-triggered ones (the elasticity events) by iteration
+        timed = [
+            (i, e) for i, e in enumerate(plan.events) if e.trigger == "time"
+        ]
         # firing order: by time, ties by plan position (sorted is stable)
-        indexed = sorted(enumerate(plan.events), key=lambda pair: pair[1].time)
+        indexed = sorted(timed, key=lambda pair: pair[1].time)
         self._pending: List[Tuple[int, ChaosEvent]] = list(indexed)
+        self._pending_supersteps: List[Tuple[int, ChaosEvent]] = sorted(
+            (
+                (i, e)
+                for i, e in enumerate(plan.events)
+                if e.trigger == "superstep"
+            ),
+            key=lambda pair: pair[1].at_superstep,
+        )
         self._machines: Dict[int, int] = {}
-        for index, event in indexed:
+        for index, event in indexed + self._pending_supersteps:
             pinned = getattr(event, "machine", None)
             self._machines[index] = (
                 int(pinned) if pinned is not None
@@ -68,10 +81,32 @@ class ChaosRuntime:
         self._pending = [(i, e) for i, e in self._pending if e.time > now]
         return due
 
+    def pop_due_superstep(self, iteration: int) -> List[Tuple[int, ChaosEvent]]:
+        """Superstep-triggered ``(index, event)`` pairs due by ``iteration``.
+
+        An event with ``at_superstep == n`` fires in the chaos round
+        *after* superstep ``n`` completes — i.e. the rescale happens on
+        the boundary before superstep ``n + 1`` runs.
+        """
+        due = [
+            (i, e)
+            for i, e in self._pending_supersteps
+            if e.at_superstep <= iteration
+        ]
+        self._pending_supersteps = [
+            (i, e)
+            for i, e in self._pending_supersteps
+            if e.at_superstep > iteration
+        ]
+        return due
+
     @property
     def pending(self) -> Tuple[ChaosEvent, ...]:
-        """Events not yet fired, in firing order."""
-        return tuple(event for _, event in self._pending)
+        """Events not yet fired, in firing order (clock, then superstep)."""
+        return tuple(
+            event
+            for _, event in self._pending + self._pending_supersteps
+        )
 
     def machine_for(self, index: int) -> int:
         """The (seed-derived or pinned) machine event ``index`` hits."""
@@ -133,4 +168,4 @@ class ChaosRuntime:
     @property
     def exhausted(self) -> bool:
         """True when every scheduled event has fired."""
-        return not self._pending
+        return not self._pending and not self._pending_supersteps

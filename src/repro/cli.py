@@ -10,6 +10,7 @@ Subcommands mirror the study's workflow::
     repro cost                          # Table 9 (the COST experiment)
     repro weak BV pagerank twitter      # the weak-scaling extension
     repro chaos --faults crash netsplit # fault injection: MTTR per system
+    repro elastic --directions out in   # mid-run rescaling: cost per mechanism
     repro report runs.jsonl -o out.md   # Markdown report from a log
     repro report traces/ BENCH_grid.json # cost & perf report from journals
     repro report --diff old/ new/       # regression gate: exit 1 if slower
@@ -39,6 +40,8 @@ from typing import List, Optional
 from .analysis import render_grid, render_table, write_log
 from .analysis.report import grid_report
 from .chaos.experiment import DEFAULT_FAULTS, DEFAULT_SYSTEMS, FAULT_KINDS
+from .elastic import DEFAULT_MAGNITUDES, DEFAULT_TIMINGS, DIRECTIONS
+from .elastic import DEFAULT_SYSTEMS as ELASTIC_SYSTEMS
 from .cluster import CLUSTER_SIZES
 from .core import cost_experiment
 from .core.weak_scaling import weak_efficiency, weak_scaling_experiment
@@ -112,6 +115,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append the record here as one JSON line (default: "
                         "BENCH_history.jsonl next to the output; '' skips)")
 
+    p = sub.add_parser(
+        "bench-elastic",
+        help="benchmark mid-run rescaling per recovery mechanism "
+             "-> BENCH_elastic.json",
+    )
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: cpu count)")
+    p.add_argument("-o", "--output", default="BENCH_elastic.json",
+                   help="where the JSON record goes")
+    p.add_argument("--history", default=None, metavar="FILE",
+                   help="append the record here as one JSON line (default: "
+                        "BENCH_history.jsonl next to the output; '' skips)")
+
     p = sub.add_parser("cost", help="the COST experiment (Table 9)")
     p.add_argument("--datasets", nargs="+", default=["twitter", "uk0705", "wrn"])
     p.add_argument("--workloads", nargs="+", default=["pagerank", "sssp", "wcc"])
@@ -152,6 +168,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="DIR",
                    help="write one journal per faulted cell (and per "
                         "fault-free reference) into this directory")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print one progress line per finished cell")
+    _add_exec_options(p)
+
+    p = sub.add_parser(
+        "elastic",
+        help="elastic rescaling: what each recovery mechanism pays to "
+             "grow or shrink a cluster mid-run",
+    )
+    p.add_argument("--systems", nargs="+", default=list(ELASTIC_SYSTEMS),
+                   choices=sorted(ENGINE_KEYS), metavar="SYS",
+                   help=f"systems to rescale (default: {' '.join(ELASTIC_SYSTEMS)})")
+    p.add_argument("--workload", default="pagerank",
+                   choices=WORKLOAD_NAMES + EXTENSION_WORKLOADS)
+    p.add_argument("--dataset", default="twitter", choices=DATASET_NAMES)
+    p.add_argument("-m", "--machines", type=int, default=16)
+    p.add_argument("--size", default="small")
+    p.add_argument("--directions", nargs="+", default=list(DIRECTIONS),
+                   choices=DIRECTIONS, metavar="DIR",
+                   help="rescale directions (default: out in)")
+    p.add_argument("--timings", nargs="+", type=float,
+                   default=list(DEFAULT_TIMINGS), metavar="FRAC",
+                   help="when to rescale, as a fraction of the reference "
+                        "run's supersteps (default: 0.3 0.7)")
+    p.add_argument("--magnitudes", nargs="+", type=int,
+                   default=list(DEFAULT_MAGNITUDES), metavar="N",
+                   help="machines added/removed per rescale (default: 4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos seed threaded into the rescale plan (default 0)")
+    p.add_argument("--checkpoint-interval", type=int, default=10, metavar="K",
+                   help="supersteps between checkpoints for checkpointing "
+                        "systems (default 10)")
+    p.add_argument("--trace", metavar="DIR",
+                   help="write one journal per rescaled cell (and per "
+                        "clean reference) into this directory")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print one progress line per finished cell")
     _add_exec_options(p)
@@ -208,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "deterministic service order)")
     p.add_argument("--max-queue", type=int, default=256, metavar="CELLS",
                    help="admission-control bound on queued cells (default 256)")
+    p.add_argument("--cache-budget", type=int, default=None, metavar="CELLS",
+                   help="bound the shared result cache to this many cells "
+                        "(LRU eviction; default: unbounded)")
+    p.add_argument("--deadline", type=float, default=0.0, metavar="SECONDS",
+                   help="default per-job deadline in host seconds from "
+                        "submission (default 0: none)")
     p.add_argument("--journal", default="_server.jsonl", metavar="FILE",
                    help="the daemon's own journal, written at shutdown "
                         "(default: _server.jsonl; '' skips)")
@@ -232,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="strict service class; higher runs first (default 0)")
     p.add_argument("--weight", type=float, default=1.0,
                    help="fair share inside the priority class (default 1.0)")
+    p.add_argument("--deadline", type=float, default=0.0, metavar="SECONDS",
+                   help="cancel the job if not finished this many host "
+                        "seconds after submission (default 0: none)")
     p.add_argument("--timeout", type=float, default=600.0,
                    help="seconds to wait for completion (default 600)")
     p.add_argument("--trace", metavar="DIR",
@@ -241,10 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve-ctl",
         help="control a running serve daemon (ping/stats/status/cancel/"
-             "shutdown)",
+             "drain/shutdown)",
     )
     p.add_argument("action",
-                   choices=("ping", "stats", "status", "cancel", "shutdown"))
+                   choices=("ping", "stats", "status", "cancel", "drain",
+                            "shutdown"))
     p.add_argument("--socket", default=None, metavar="ADDR",
                    help="daemon address (default: .repro-serve.sock)")
     p.add_argument("--job", metavar="ID",
@@ -273,7 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="static analysis of the model contracts "
-             "(RPL001-RPL010; --deep adds RPL011-RPL014)",
+             "(RPL001-RPL010; --deep adds RPL011-RPL020)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -284,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore",
                    help="comma-separated rule codes or prefixes to skip")
     p.add_argument("--deep", action="store_true",
-                   help="also run the whole-program pass (RPL011-RPL014)")
+                   help="also run the whole-program pass (RPL011-RPL020)")
     p.add_argument("--baseline", metavar="FILE",
                    help="suppress findings recorded in this baseline file")
     p.add_argument("--update-baseline", action="store_true",
@@ -443,6 +504,14 @@ def _cmd_bench_grid(args) -> int:
     return 0
 
 
+def _cmd_bench_elastic(args) -> int:
+    from .elastic.bench import run_bench
+
+    record = run_bench(jobs=args.jobs, output=args.output,
+                       history=args.history)
+    return 0 if record["bit_equal"] else 1
+
+
 def _cmd_cost(args) -> int:
     rows = cost_experiment(
         datasets=tuple(args.datasets), workloads=tuple(args.workloads)
@@ -558,6 +627,98 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_elastic(args) -> int:
+    from .elastic import elasticity_experiment
+    from .exec import print_progress
+
+    report = elasticity_experiment(
+        systems=tuple(args.systems),
+        workload=args.workload,
+        dataset=args.dataset,
+        cluster_size=args.machines,
+        dataset_size=args.size,
+        directions=tuple(args.directions),
+        timings=tuple(args.timings),
+        magnitudes=tuple(args.magnitudes),
+        seed=args.seed,
+        checkpoint_interval=args.checkpoint_interval,
+        jobs=args.jobs,
+        cache_dir=_cli_cache(args),
+        resume=args.resume,
+        progress=print_progress if args.verbose else None,
+    )
+
+    grouped: dict = {}
+    for cell in report.cells:
+        key = (cell.system, cell.direction, cell.magnitude)
+        grouped.setdefault(key, {})[cell.timing] = cell
+    rows = []
+    for (system, direction, magnitude), cells in grouped.items():
+        row = {
+            "system": system,
+            "mechanism": next(iter(cells.values())).mechanism,
+            "rescale": f"{direction} x{magnitude}",
+        }
+        for timing in args.timings:
+            cell = cells.get(timing)
+            row[f"t={timing:g}"] = cell.cell_text() if cell else "-"
+        rows.append(row)
+    print(render_table(
+        rows,
+        title=(f"rescale seconds (+end-to-end overhead) — {args.workload}/"
+               f"{args.dataset}@{args.machines} machines, seed {args.seed}, "
+               f"checkpoint interval {args.checkpoint_interval}"),
+    ))
+    tolerance = report.tolerance_by_mechanism()
+    dollars = report.dollars_by_mechanism()
+    for mechanism in sorted(tolerance):
+        tolerated, total = tolerance[mechanism]
+        line = f"  {mechanism}: {tolerated}/{total} rescales tolerated"
+        if mechanism in dollars:
+            line += f", ${dollars[mechanism]:.2f} per rescale"
+        print(line)
+    for system, reference in report.clean.items():
+        if not reference.ok:
+            print(f"note: clean {system} reference failed "
+                  f"({reference.cell()}); its rescale cells were skipped")
+
+    if args.trace:
+        from pathlib import Path
+
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for reference in report.clean.values():
+            if reference.observation is None:
+                continue
+            reference.observation.journal().write(
+                trace_dir / _trace_filename(reference, tag="clean"))
+            written += 1
+        for cell in report.cells:
+            if cell.rescaled.observation is None:
+                continue
+            cell.rescaled.observation.journal().write(
+                trace_dir / _trace_filename(
+                    cell.rescaled,
+                    tag=f"{cell.direction}{cell.magnitude}s{cell.at_superstep}",
+                ))
+            written += 1
+        print(f"{written} journals written to {trace_dir}/")
+
+    mismatches = report.mismatches()
+    if mismatches:
+        print("\nANSWER MISMATCH — rescaled runs must return answers "
+              "bit-equal to the fixed-size reference:")
+        for cell in mismatches:
+            print(f"  {cell.system} {cell.direction} x{cell.magnitude} "
+                  f"@superstep {cell.at_superstep}")
+        return 1
+    completed = sum(1 for c in report.cells if c.completed)
+    print(f"\nall {completed} completed rescaled runs returned bit-exact "
+          f"answers (vs their fixed-size references)")
+    return 0
+
+
 def _cmd_findings(args) -> int:
     from .core import verify_all_findings
 
@@ -668,11 +829,15 @@ def _cmd_serve(args) -> int:
         cache=_cli_cache(args),
         jobs=args.jobs,
         max_queue_cells=args.max_queue,
+        cache_budget=args.cache_budget,
+        default_deadline=args.deadline,
         journal_path=args.journal or None,
     )
+    budget = f", cache budget: {args.cache_budget} cells" \
+        if args.cache_budget else ""
     print(f"repro serve: listening on {daemon.address} "
           f"(cache: {'off' if args.no_cache else args.cache_dir}, "
-          f"queue bound: {args.max_queue} cells)")
+          f"queue bound: {args.max_queue} cells{budget})")
     print("stop with 'repro serve-ctl shutdown' on the same socket")
     try:
         daemon.serve_forever()
@@ -695,6 +860,7 @@ def _cmd_submit(args) -> int:
                 datasets=args.datasets, cluster_sizes=args.machines,
                 dataset_size=args.size,
                 priority=args.priority, weight=args.weight,
+                deadline=args.deadline,
             )
             job_id = link.submit(request)
             print(f"submitted {job_id} ({request.cells} cells) as "
@@ -746,11 +912,16 @@ def _cmd_serve_ctl(args) -> int:
                 response = link.status(args.job)
             elif args.action == "cancel":
                 response = link.cancel(args.job)
+            elif args.action == "drain":
+                response = link.drain()
             else:
                 response = link.shutdown()
     except (ServeError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if response.get("cancelling"):
+        print(f"cancelling {args.job}: takes effect at the next cell "
+              f"boundary")
     print(json.dumps(response, indent=2, sort_keys=True))
     return 0
 
@@ -787,10 +958,12 @@ _COMMANDS = {
     "run": _cmd_run,
     "grid": _cmd_grid,
     "bench-grid": _cmd_bench_grid,
+    "bench-elastic": _cmd_bench_elastic,
     "cost": _cmd_cost,
     "weak": _cmd_weak,
     "findings": _cmd_findings,
     "chaos": _cmd_chaos,
+    "elastic": _cmd_elastic,
     "report": _cmd_report,
     "trace": _cmd_trace,
     "serve": _cmd_serve,

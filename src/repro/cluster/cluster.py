@@ -65,6 +65,33 @@ class Cluster:
             else None
         )
 
+    def rescale(self, num_workers: int) -> None:
+        """Grow or shrink the worker pool mid-run (elasticity events).
+
+        The memory accountant redistributes live allocations (a scale-in
+        past capacity OOMs — a legitimate outcome); the network and HDFS
+        fabrics are rebuilt for the new machine count with their byte
+        counters and the chaos degradation factor carried over; the
+        tracker keeps accumulating into the same aggregates. A scale-out
+        may exceed ``spec.num_machines`` — the spec describes the
+        *provisioned* cluster, elasticity is what changes it.
+        """
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if num_workers == self.num_workers:
+            return
+        self.num_workers = num_workers
+        self.memory.rescale(num_workers)
+        network = NetworkModel(num_workers, self.spec.machine)
+        network.total_bytes = self.network.total_bytes
+        network.degradation = self.network.degradation
+        self.network = network
+        hdfs = HdfsModel(num_workers, self.spec.machine, self.hdfs.block_size)
+        hdfs.bytes_read = self.hdfs.bytes_read
+        hdfs.bytes_written = self.hdfs.bytes_written
+        self.hdfs = hdfs
+        self.tracker.record_rescale(num_workers)
+
     @property
     def tracer(self) -> Tracer:
         """The run's span tracer (bound to this cluster's clock)."""

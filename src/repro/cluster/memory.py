@@ -87,6 +87,32 @@ class MemoryAccountant:
         for m in range(1, self.num_machines):
             self.allocate(m, rest, label)
 
+    def rescale(self, num_machines: int) -> None:
+        """Redistribute every live allocation across a new machine count.
+
+        The elasticity path: per-label totals are gathered and re-spread
+        evenly (skew resets — repartitioning rebalances), so a scale-in
+        that concentrates state past one machine's capacity raises
+        :class:`SimulatedOOM` exactly like any other allocation would.
+        Peaks are never forgotten: ``_peak`` keeps an entry for every
+        machine that ever participated, so Table 8's sum-of-peaks covers
+        departed workers too.
+        """
+        if num_machines < 1:
+            raise ValueError("need at least one machine")
+        totals: Dict[str, float] = {}
+        for labels in self._by_label:
+            for label, held in labels.items():
+                if held > 0.0:
+                    totals[label] = totals.get(label, 0.0) + held
+        self.num_machines = num_machines
+        self._used = [0.0] * num_machines
+        self._by_label = [dict() for _ in range(num_machines)]
+        if len(self._peak) < num_machines:
+            self._peak.extend([0.0] * (num_machines - len(self._peak)))
+        for label in sorted(totals):
+            self.allocate_even(totals[label], label)
+
     def free(self, machine_id: int, nbytes: float, label: str) -> None:
         """Release a previous allocation (never below zero)."""
         labels = self._by_label[machine_id]

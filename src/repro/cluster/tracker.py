@@ -61,6 +61,7 @@ class ResourceTracker:
 
     def __init__(self, num_machines: int) -> None:
         self.num_machines = num_machines
+        self._initial_machines = num_machines
         self.cpu_samples: List[CpuSample] = []
         self.memory_samples: List[MemorySample] = []
         # Running per-machine aggregates, maintained by record_memory so
@@ -110,6 +111,22 @@ class ResourceTracker:
         """Add to the disk byte counters."""
         self.disk_bytes_read += read
         self.disk_bytes_written += written
+
+    def record_rescale(self, num_machines: int) -> None:
+        """Track an elastic rescale: billing covers the widest fleet.
+
+        The paper's cost figures bill per provisioned machine, so the
+        tracker keeps the high-water machine count — a scale-in does
+        not retroactively shrink the bill for capacity already used.
+        """
+        if num_machines < 1:
+            raise ValueError(f"num_machines must be >= 1, got {num_machines}")
+        self.num_machines = max(self.num_machines, num_machines)
+
+    @property
+    def machines_joined(self) -> int:
+        """Machines added beyond the initial fleet (never negative)."""
+        return max(0, self.num_machines - self._initial_machines)
 
     def record_memory_integral(self, byte_seconds: float) -> None:
         """Accrue resident-memory × time for one cluster operation.

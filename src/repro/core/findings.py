@@ -304,6 +304,69 @@ def _chaos_recovery_tradeoff() -> Finding:
     return finding
 
 
+def _elastic_rescale_tolerance() -> Finding:
+    finding = Finding(
+        key="elastic-rescale-tolerance",
+        claim=("[extension] Every mechanism survives mid-run rescaling "
+               "with bit-equal answers, but the bills differ: migrate-only "
+               "re-execution is cheapest, checkpoint systems pay a replay, "
+               "and restart-from-zero grows with completed progress; "
+               "scale-in always costs more end-to-end than scale-out"),
+        section="extension of Table 1 (repro.elastic)",
+    )
+    from ..elastic import elasticity_experiment
+
+    report = elasticity_experiment(systems=("BV", "G", "HD", "V"))
+    cells = report.cells
+    out = [c for c in cells if c.direction == "out"]
+    scale_in = [c for c in cells if c.direction == "in"]
+    exact = bool(cells) and all(c.tolerated for c in cells)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    rescale_bill = {
+        mech: mean([c.rescale_seconds for c in cells if c.mechanism == mech])
+        for mech in ("reexecution", "checkpoint", "none")
+    }
+    # restart-from-zero repeats everything completed so far, so a late
+    # rescale must bill more recovery time than an early one
+    restart = sorted(
+        (c for c in cells if c.mechanism == "none"), key=lambda c: c.timing
+    )
+    restart_monotone = all(
+        earlier.rescale_seconds <= later.rescale_seconds
+        for earlier, later in zip(restart, restart[1:])
+    )
+    finding.evidence = {
+        "cells": {
+            f"{c.system}/{c.direction}@{c.timing}": c.cell_text()
+            for c in cells
+        },
+        "rescale_seconds_by_mechanism": {
+            k: round(v, 1) for k, v in rescale_bill.items()
+        },
+        "dollars_per_rescale_by_mechanism": {
+            k: round(v, 2) for k, v in report.dollars_by_mechanism().items()
+        },
+        "mean_overhead_seconds": {
+            "out": round(mean([c.overhead_seconds for c in out]), 1),
+            "in": round(mean([c.overhead_seconds for c in scale_in]), 1),
+        },
+        "rescaled_answers_exact": exact,
+    }
+    finding.supported = (
+        exact
+        and bool(out) and bool(scale_in)
+        and rescale_bill["reexecution"] < rescale_bill["checkpoint"]
+        and rescale_bill["checkpoint"] < rescale_bill["none"]
+        and restart_monotone
+        and mean([c.overhead_seconds for c in scale_in])
+        > mean([c.overhead_seconds for c in out])
+    )
+    return finding
+
+
 FINDINGS: Tuple[Callable[[], Finding], ...] = (
     _blogel_winner,
     _large_diameter,
@@ -320,6 +383,7 @@ FINDINGS: Tuple[Callable[[], Finding], ...] = (
 #: ``FINDINGS`` so the default verification stays the paper's 8 bullets
 EXTENSION_FINDINGS: Tuple[Callable[[], Finding], ...] = (
     _chaos_recovery_tradeoff,
+    _elastic_rescale_tolerance,
 )
 
 

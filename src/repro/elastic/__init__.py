@@ -1,0 +1,35 @@
+"""Elasticity: rescaling the cluster mid-computation, per Table 1 mechanism.
+
+The paper's fault-tolerance analysis stops at crash recovery; Coimbra
+et al. (PAPERS.md) argue the production question is *elasticity* — what
+each computation model pays when the cluster grows or shrinks while a
+job is running. This package sweeps :class:`~repro.chaos.events.ScaleOut`
+/ :class:`~repro.chaos.events.ScaleIn` events across the engine lineup
+(mirroring :mod:`repro.chaos.experiment`), gates every rescaled run's
+answers bit-equal to its fault-free reference, and prices each rescale
+in dollars through the cost record.
+"""
+
+from .experiment import (
+    DEFAULT_MAGNITUDES,
+    DEFAULT_SYSTEMS,
+    DEFAULT_TIMINGS,
+    DIRECTIONS,
+    ElasticCell,
+    ElasticReport,
+    elasticity_experiment,
+    rescale_plan,
+    run_cost_dollars,
+)
+
+__all__ = [
+    "DIRECTIONS",
+    "DEFAULT_SYSTEMS",
+    "DEFAULT_TIMINGS",
+    "DEFAULT_MAGNITUDES",
+    "ElasticCell",
+    "ElasticReport",
+    "rescale_plan",
+    "run_cost_dollars",
+    "elasticity_experiment",
+]

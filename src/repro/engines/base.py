@@ -322,6 +322,25 @@ class RecoveryModel(abc.ABC):
     ) -> None:
         """The latest checkpoint became unreadable (no-op without one)."""
 
+    @abc.abstractmethod
+    def rescale(
+        self,
+        ctx: RecoveryContext,
+        event: "ChaosEvent",
+        old_workers: int,
+        new_workers: int,
+    ) -> None:
+        """Charge the cost of repartitioning onto a resized cluster.
+
+        Fired on a superstep boundary by a ``scaleout``/``scalein``
+        event, *before* :meth:`~repro.cluster.cluster.Cluster.rescale`
+        changes the worker count — the bill is paid on the old cluster,
+        the next superstep runs on the new one. Each Table 1 mechanism
+        prices elasticity with the machinery it already has: checkpoint
+        systems reload and replay, re-execution systems migrate only
+        the moved partitions, restart-from-zero systems start over.
+        """
+
 
 class Engine(abc.ABC):
     """A distributed graph processing system under evaluation."""
@@ -481,7 +500,10 @@ class Engine(abc.ABC):
                 "system": result.system,
                 "workload": result.workload,
                 "dataset": result.dataset,
-                "machines": result.cluster_size,
+                # a mid-run scale-out bills every machine the run ever
+                # held (cloud billing convention); machines_joined is 0
+                # unless a rescale fired
+                "machines": result.cluster_size + cluster.tracker.machines_joined,
                 "status": "ok" if result.ok else str(result.failure),
                 "failure_detail": result.failure_detail,
                 "iterations": result.iterations,

@@ -155,6 +155,15 @@ class BspExecutionMixin(abc.ABC):
         """
         chaos.end_superstep()
         recovery.maybe_checkpoint(ctx)
+        for index, event in chaos.pop_due_superstep(ctx.iteration):
+            machine = chaos.machine_for(index)
+            cluster.metrics.counter("faults_injected").inc()
+            with cluster.tracer.span(
+                "fault", cat="chaos", kind=event.kind, machine=machine,
+                scheduled=event.at_superstep, iteration=ctx.iteration,
+            ):
+                pass
+            self._rescale(cluster, recovery, ctx, event, machine)
         for index, event in chaos.pop_due(cluster.now):
             machine = chaos.machine_for(index)
             cluster.metrics.counter("faults_injected").inc()
@@ -172,6 +181,47 @@ class BspExecutionMixin(abc.ABC):
             else:
                 self._recover(cluster, chaos, recovery, ctx, event, machine)
         cluster.network.degradation = chaos.bandwidth_factor()
+
+    def _rescale(
+        self,
+        cluster: Cluster,
+        recovery: RecoveryModel,
+        ctx: RecoveryContext,
+        event: ChaosEvent,
+        machine: int,
+    ) -> None:
+        """Resize the cluster on a superstep boundary, billed per model.
+
+        The recovery model charges its repartitioning bill on the *old*
+        cluster (under a ``recover`` span, so the time lands in the cost
+        record's priced ``recovery_seconds``), then the cluster itself
+        rescales and the next superstep runs on the new worker count.
+        Answers are untouched by construction — supersteps compute on
+        the real graph regardless of cluster size.
+        """
+        old_workers = cluster.num_workers
+        if event.kind == "scaleout":
+            new_workers = old_workers + event.n_machines
+        else:
+            new_workers = max(1, old_workers - event.machines)
+        started = cluster.now
+        span = cluster.tracer.start(
+            "recover", cat="chaos", kind=event.kind, model=recovery.name,
+            machine=machine, iteration=ctx.iteration,
+            workers_before=old_workers, workers_after=new_workers,
+        )
+        try:
+            if new_workers != old_workers:
+                recovery.rescale(ctx, event, old_workers, new_workers)
+                cluster.rescale(new_workers)
+        finally:
+            seconds = cluster.now - started
+            cluster.metrics.counter("recovery_seconds").inc(seconds)
+            cluster.metrics.counter("rescales").inc()
+            ctx.result.extras["recoveries"] = (
+                ctx.result.extras.get("recoveries", 0) + 1
+            )
+            cluster.tracer.end(span, seconds=seconds)
 
     def _recover(
         self,

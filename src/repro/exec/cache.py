@@ -16,6 +16,14 @@ Entries are one JSON file each under ``<cache-dir>/<k[:2]>/<k>.json``,
 written via temp-file + atomic rename so a killed run never leaves a
 truncated entry for ``--resume`` to trip over. Unreadable or corrupt
 entries degrade to cache misses, never to errors.
+
+A cache may carry a ``max_cells`` budget: entries are then tracked in
+LRU order (by cells — each entry is one cell payload) and the
+least-recently-used entries are evicted from disk when a put would
+exceed the budget, with the count kept in :attr:`ResultCache.evictions`
+(the serve daemon journals it). The order is in-process state, which is
+sound exactly where the budget is used — the daemon is the cache's
+single writer; unbounded caches skip the tracking entirely.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Union
@@ -111,10 +120,27 @@ def cell_key(
 
 
 class ResultCache:
-    """On-disk memo of finished cells, keyed by :func:`cell_key`."""
+    """On-disk memo of finished cells, keyed by :func:`cell_key`.
 
-    def __init__(self, cache_dir: Union[str, Path]) -> None:
+    ``max_cells`` bounds the cache in cells (one entry each): exceeding
+    it evicts the least-recently-used entries from disk and counts them
+    in :attr:`evictions`. ``None`` (the default) keeps the cache
+    unbounded with zero tracking overhead.
+    """
+
+    def __init__(self, cache_dir: Union[str, Path],
+                 max_cells: Optional[int] = None) -> None:
+        if max_cells is not None and max_cells <= 0:
+            raise ValueError("max_cells must be positive (or None)")
         self.cache_dir = Path(cache_dir)
+        self.max_cells = max_cells
+        self.evictions = 0
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        if self.max_cells is not None and self.cache_dir.is_dir():
+            # adopt pre-existing entries, oldest-position first by key
+            # (deterministic: no usable access order survives a restart)
+            for path in sorted(self.cache_dir.glob("*/*.json")):
+                self._lru[path.stem] = None
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (two-level fan-out)."""
@@ -127,18 +153,39 @@ class ResultCache:
             text = path.read_text(encoding="ascii")
             payload = json.loads(text)
         except (OSError, ValueError):
+            if self.max_cells is not None:
+                self._lru.pop(key, None)
             return None
         if not isinstance(payload, dict) or payload.get("version") != PAYLOAD_VERSION:
+            if self.max_cells is not None:
+                self._lru.pop(key, None)
             return None
+        if self.max_cells is not None:
+            self._lru[key] = None
+            self._lru.move_to_end(key)
         return payload
 
     def put(self, key: str, payload: dict) -> Path:
-        """Store a payload atomically; concurrent writers are safe."""
+        """Store a payload atomically; concurrent writers are safe.
+
+        Under a ``max_cells`` budget, the put that exceeds it evicts
+        the least-recently-used entries from disk first.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(_canonical(payload), encoding="ascii")
         os.replace(tmp, path)
+        if self.max_cells is not None:
+            self._lru[key] = None
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.max_cells:
+                victim, _ = self._lru.popitem(last=False)
+                try:
+                    self.path_for(victim).unlink()
+                except OSError:
+                    pass
+                self.evictions += 1
         return path
 
     def __contains__(self, key: str) -> bool:

@@ -22,7 +22,10 @@ conservative call graph, and checks the contracts that only exist
 - RPL018 cache-key soundness — every input that can change a RunResult
   flows into the result cache's key construction;
 - RPL019 worker sharing — no ``exec`` module-level mutable state is
-  expected to cross a process boundary.
+  expected to cross a process boundary;
+- RPL020 bounded retry — every ``while`` loop that sleeps through the
+  host-clock door carries a reachable bound (attempt counter or
+  deadline check).
 
 Usage::
 
@@ -51,6 +54,7 @@ from .rpl016_redundant_digest import RedundantDigestRule
 from .rpl017_superstep_hygiene import SuperstepHygieneRule
 from .rpl018_cache_key import CacheKeySoundnessRule
 from .rpl019_worker_sharing import WorkerSharingRule
+from .rpl020_bounded_retry import BoundedRetryRule
 
 __all__ = [
     "DeepRule",
@@ -72,6 +76,7 @@ DEEP_RULES = (
     SuperstepHygieneRule(),
     CacheKeySoundnessRule(),
     WorkerSharingRule(),
+    BoundedRetryRule(),
 )
 
 DEEP_RULES_BY_CODE = {rule.code: rule for rule in DEEP_RULES}

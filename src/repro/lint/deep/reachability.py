@@ -26,7 +26,7 @@ __all__ = [
 Node = Tuple[FunctionInfo, Optional[ClassInfo]]
 
 #: methods that hand control to the chaos/recovery machinery
-_CHAOS_METHODS = frozenset({"_chaos_round", "_recover"})
+_CHAOS_METHODS = frozenset({"_chaos_round", "_recover", "_rescale"})
 
 
 def chaos_boundary(fn: FunctionInfo) -> bool:

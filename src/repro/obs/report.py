@@ -149,9 +149,12 @@ class ServerRow:
 
     jobs: int
     rejected: int
+    shed: int
+    deadline_expired: int
     cells: int
     cache_hits: int
     executed: int
+    evictions: int
     cache_hit_rate: float
     dollars: float
     clients: int
@@ -235,9 +238,12 @@ def _server_row(journal: Journal) -> ServerRow:
     return ServerRow(
         jobs=int(meta.get("jobs", 0)),  # type: ignore[arg-type]
         rejected=int(meta.get("rejected", 0)),  # type: ignore[arg-type]
+        shed=int(meta.get("shed", 0)),  # type: ignore[arg-type]
+        deadline_expired=int(meta.get("deadline_expired", 0)),  # type: ignore[arg-type]
         cells=int(meta.get("cells", 0)),  # type: ignore[arg-type]
         cache_hits=int(meta.get("cache_hits", 0)),  # type: ignore[arg-type]
         executed=int(meta.get("executed", 0)),  # type: ignore[arg-type]
+        evictions=int(meta.get("evictions", 0)),  # type: ignore[arg-type]
         cache_hit_rate=float(meta.get("cache_hit_rate", 0.0)),  # type: ignore[arg-type]
         dollars=float(meta.get("dollars", 0.0)),  # type: ignore[arg-type]
         clients=int(meta.get("clients", 0)),  # type: ignore[arg-type]
@@ -462,6 +468,16 @@ def _render_servers(servers: Sequence[ServerRow]) -> List[str]:
             f"p99 {row.p99_latency * 1000:.0f} ms · "
             f"${row.dollars:.4f}"
         )
+        # resilience counters only earn a line once they fire
+        pressure = []
+        if row.shed:
+            pressure.append(f"{row.shed} shed under queue pressure")
+        if row.deadline_expired:
+            pressure.append(f"{row.deadline_expired} deadline-expired")
+        if row.evictions:
+            pressure.append(f"{row.evictions} cache evictions")
+        if pressure:
+            lines.append("  " + " · ".join(pressure))
     billed = [row for row in servers if row.per_client]
     if billed:
         lines += [""]

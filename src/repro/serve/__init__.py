@@ -27,7 +27,12 @@ The package splits along the protocol/policy/mechanism seams:
   ``repro serve-bench`` and ``BENCH_serve.json``.
 """
 
-from .client import ServeClient, ServeError, grid_from_payloads
+from .client import (
+    QueueFullError,
+    ServeClient,
+    ServeError,
+    grid_from_payloads,
+)
 from .daemon import DEFAULT_SOCKET, ServeDaemon, parse_address
 from .protocol import (
     JOB_CANCELLED,
@@ -41,7 +46,7 @@ from .protocol import (
     ProtocolError,
 )
 from .queue import FairQueue
-from .scheduler import JobRunner
+from .scheduler import JobInterrupted, JobRunner
 from .stats import ServerStats, percentile, server_observation
 
 __all__ = [
@@ -55,12 +60,14 @@ __all__ = [
     "JOB_FAILED",
     "JOB_CANCELLED",
     "FairQueue",
+    "JobInterrupted",
     "JobRunner",
     "ServeDaemon",
     "DEFAULT_SOCKET",
     "parse_address",
     "ServeClient",
     "ServeError",
+    "QueueFullError",
     "grid_from_payloads",
     "ServerStats",
     "percentile",

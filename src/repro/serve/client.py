@@ -4,8 +4,12 @@
 hides the serving mechanics from callers:
 
 * **submission with backoff** — an admission-control rejection
-  (``queue-full``) is retried after the daemon's ``retry_after`` hint,
-  a bounded number of times, through the host-clock door;
+  (``queue-full``) is retried a bounded number of times under capped
+  exponential backoff seeded from the daemon's ``retry_after`` hint,
+  with deterministic jitter (a client-seeded RNG, so two clients named
+  differently never thundering-herd in lockstep while any one client's
+  schedule stays reproducible); exhaustion raises the typed
+  :class:`QueueFullError`, through the host-clock door throughout;
 * **resumable result streams** — cell payloads are fetched with an
   ``after`` cursor, so a client that reconnects (or a test that drops
   the connection mid-stream) continues from where it stopped instead of
@@ -21,12 +25,13 @@ hides the serving mechanics from callers:
 
 from __future__ import annotations
 
+import random
 import socket
 from typing import Iterator, List, Optional
 
 from ..core.runner import ResultGrid
 from ..exec.serialize import payload_to_result
-from ..obs.hostclock import host_sleep
+from ..obs.hostclock import host_now, host_sleep
 from .daemon import parse_address
 from .protocol import (
     JOB_FAILED,
@@ -35,13 +40,18 @@ from .protocol import (
     send_message,
 )
 
-__all__ = ["ServeError", "ServeClient", "grid_from_payloads"]
+__all__ = [
+    "ServeError", "QueueFullError", "ServeClient", "grid_from_payloads",
+]
 
 #: how many queue-full rejections submit() absorbs before giving up
 DEFAULT_SUBMIT_RETRIES = 20
 
 #: polling cadence while streaming a job that is still producing cells
 _STREAM_POLL = 0.05
+
+#: backoff never sleeps longer than this per attempt (host seconds)
+_BACKOFF_CAP = 2.0
 
 
 class ServeError(RuntimeError):
@@ -50,6 +60,14 @@ class ServeError(RuntimeError):
     def __init__(self, code: str, message: str) -> None:
         super().__init__(f"{code}: {message}")
         self.code = code
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected every bounded submit attempt."""
+
+    def __init__(self, message: str, rejections: int) -> None:
+        super().__init__("queue-full", message)
+        self.rejections = rejections
 
 
 def grid_from_payloads(payloads: List[dict]) -> ResultGrid:
@@ -117,7 +135,7 @@ class ServeClient:
 
     def request(self, systems, workloads, datasets, cluster_sizes,
                 dataset_size: str = "small", priority: int = 0,
-                weight: float = 1.0) -> JobRequest:
+                weight: float = 1.0, deadline: float = 0.0) -> JobRequest:
         """A validated submission carrying this client's identity."""
         return JobRequest(
             client=self.client,
@@ -128,24 +146,42 @@ class ServeClient:
             dataset_size=dataset_size,
             priority=priority,
             weight=weight,
+            deadline=deadline,
         ).validate()
 
     def submit(self, request: JobRequest,
-               retries: int = DEFAULT_SUBMIT_RETRIES) -> str:
-        """Submit a job, backing off on admission rejections; job id."""
+               retries: int = DEFAULT_SUBMIT_RETRIES,
+               backoff_cap: float = _BACKOFF_CAP) -> str:
+        """Submit a job, backing off on admission rejections; job id.
+
+        Rejections sleep under capped exponential backoff — the
+        daemon's ``retry_after`` hint doubled per consecutive
+        rejection, clamped to ``backoff_cap``, jittered into
+        ``[0.5, 1.0]×`` by a client-name-seeded RNG (deterministic per
+        client, decorrelated across clients). ``retries`` bounds the
+        loop; exhaustion raises :class:`QueueFullError`.
+        """
+        rng = random.Random(f"serve-submit:{self.client}")
         rejections = 0
         while True:
             response = self.call({"op": "submit", "job": request.to_dict()})
             if response.get("ok"):
                 return str(response["job"])
-            if response.get("error") == "queue-full" and rejections < retries:
-                rejections += 1
-                host_sleep(float(response.get("retry_after", _STREAM_POLL)))
-                continue
-            raise ServeError(
-                str(response.get("error", "error")),
-                str(response.get("message", "submit failed")),
-            )
+            if response.get("error") != "queue-full":
+                raise ServeError(
+                    str(response.get("error", "error")),
+                    str(response.get("message", "submit failed")),
+                )
+            if rejections >= retries:
+                raise QueueFullError(
+                    f"rejected {rejections + 1} times: "
+                    + str(response.get("message", "queue full")),
+                    rejections=rejections + 1,
+                )
+            hint = float(response.get("retry_after", _STREAM_POLL))
+            delay = min(backoff_cap, hint * (2 ** rejections))
+            rejections += 1
+            host_sleep(delay * (0.5 + 0.5 * rng.random()))
 
     def status(self, job_id: str) -> dict:
         return self._ok({"op": "status", "job": job_id})
@@ -160,6 +196,10 @@ class ServeClient:
     def stats(self) -> dict:
         return self._ok({"op": "stats"})
 
+    def drain(self) -> dict:
+        """Stop admissions; the daemon finishes its backlog, then exits."""
+        return self._ok({"op": "drain"})
+
     def shutdown(self) -> dict:
         return self._ok({"op": "shutdown"})
 
@@ -169,10 +209,22 @@ class ServeClient:
         """One raw batch of the payload stream (cursor-resumable)."""
         return self._ok({"op": "results", "job": job_id, "after": after})
 
-    def stream_payloads(self, job_id: str, after: int = 0) -> Iterator[dict]:
-        """Yield cell payloads in plan order until the job completes."""
+    def stream_payloads(self, job_id: str, after: int = 0,
+                        timeout: Optional[float] = None) -> Iterator[dict]:
+        """Yield cell payloads in plan order until the job completes.
+
+        ``timeout`` bounds the whole stream in host seconds (a stalled
+        daemon raises instead of polling forever); ``None`` trusts the
+        job to terminate.
+        """
+        deadline = None if timeout is None else host_now() + timeout
         cursor = after
         while True:
+            if deadline is not None and host_now() >= deadline:
+                raise ServeError(
+                    "timeout", f"job {job_id} still streaming after "
+                    f"{timeout} host seconds",
+                )
             batch = self.results(job_id, after=cursor)
             for payload in batch["payloads"]:
                 yield payload
@@ -187,9 +239,10 @@ class ServeClient:
             if not batch["payloads"]:
                 host_sleep(_STREAM_POLL)
 
-    def fetch_payloads(self, job_id: str, after: int = 0) -> List[dict]:
+    def fetch_payloads(self, job_id: str, after: int = 0,
+                       timeout: Optional[float] = None) -> List[dict]:
         """The complete payload stream, blocking until the job is done."""
-        return list(self.stream_payloads(job_id, after=after))
+        return list(self.stream_payloads(job_id, after=after, timeout=timeout))
 
     def fetch_grid(self, job_id: str,
                    payloads: Optional[List[dict]] = None) -> ResultGrid:

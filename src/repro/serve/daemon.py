@@ -13,15 +13,26 @@ deterministic policy, and a served grid is bit-equal to the one-shot
 Lifecycle of a submission::
 
     submit ──admission──▶ queued ──fair order──▶ running ──▶ done
-        │ (queue-full → retry_after)                │
-        └──────────── cancel (queued only) ──▶ cancelled   failed
+        │ (queue-full → retry_after,                │
+        │  or shed lower-priority queued work)      │
+        └── cancel / deadline / shed ──▶ cancelled ─┘──▶ failed
 
-Shutdown (the ``shutdown`` op, or :meth:`ServeDaemon.stop`) drains
-nothing: queued jobs stay queued until served or the process exits, and
-the daemon writes its own journal — ``_server.jsonl`` with meta
-``kind="server"``, per-job spans, and queue-wait/service/latency
-histograms — before returning, so every serving session leaves the same
-evidence trail a grid run does.
+Cancellation is cooperative all the way: a queued job flips in place,
+a *running* job gets ``cancel_requested`` set and stops at its next
+cell boundary (the scheduler polls the flag — and the job's deadline —
+from the executor's progress hook), keeping its completed payload
+prefix streamable. Deadlines are host-seconds budgets from submission;
+an expired job is cancelled before start or at the next boundary.
+
+Two ways down. ``shutdown`` (or :meth:`ServeDaemon.stop`) drains
+nothing: queued jobs stay queued until served or the process exits.
+``drain`` stops admissions (submissions answer ``draining``), lets the
+running job and the whole queue finish, then shuts the daemon down
+cleanly. Either way the daemon writes its own journal —
+``_server.jsonl`` with meta ``kind="server"``, per-job spans,
+queue-wait/service/latency histograms, and the sheds / deadline-expiry
+/ cache-eviction counters — before returning, so every serving session
+leaves the same evidence trail a grid run does.
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ from typing import Dict, Optional, Tuple, Union
 from ..obs import Tracer
 from ..obs.hostclock import host_now
 from .protocol import (
+    JOB_CANCELLED,
+    JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
     OPS,
@@ -124,18 +137,25 @@ class ServeDaemon:
         jobs: int = 1,
         max_queue_cells: int = 256,
         journal_path: Union[None, str, Path] = None,
+        cache_budget: Optional[int] = None,
+        default_deadline: float = 0.0,
     ) -> None:
+        if default_deadline < 0:
+            raise ValueError("default_deadline must be >= 0 host seconds")
         self.journal_path = Path(journal_path) if journal_path else None
         self.start_host = host_now()
         self.tracer = Tracer(lambda: host_now() - self.start_host)
         self.stats = ServerStats(start_host=self.start_host)
-        self.runner = JobRunner(cache, jobs=jobs)
+        self.runner = JobRunner(cache, jobs=jobs, cache_budget=cache_budget)
         self.queue = FairQueue(max_cells=max_queue_cells)
+        #: host-seconds budget stamped on jobs that carry none of their own
+        self.default_deadline = default_deadline
         #: one lock for queue + registry + stats; scheduler waits on it
         self.cond = threading.Condition()
         self.jobs: Dict[str, Job] = {}
         self._seq = 0
         self._stopping = False
+        self._draining = False
         self._scheduler: Optional[threading.Thread] = None
         self._server_thread: Optional[threading.Thread] = None
 
@@ -182,16 +202,38 @@ class ServeDaemon:
             self._finish()
 
     def stop(self) -> None:
-        """Stop accepting, finish the running job, write the journal."""
+        """Stop accepting, wind down the running job, write the journal.
+
+        The in-flight job (if any) is cancelled cooperatively at its
+        next cell boundary; still-queued jobs are failed with a clean
+        error payload. Use the ``drain`` op to finish the backlog
+        instead.
+        """
         self.server.shutdown()
         self._finish()
 
     def _finish(self) -> None:
         with self.cond:
             self._stopping = True
+            # an in-flight job stops cooperatively at its next cell
+            # boundary instead of holding the shutdown hostage
+            for job in self.jobs.values():
+                if job.state == JOB_RUNNING:
+                    job.cancel_requested = True
             self.cond.notify_all()
         if self._scheduler is not None:
             self._scheduler.join()
+        with self.cond:
+            # the scheduler is gone: whatever never reached a terminal
+            # state gets a clean error payload instead of limbo
+            for job in self.jobs.values():
+                if not job.done:
+                    self.queue.cancel(job.id)
+                    job.state = JOB_FAILED
+                    job.error = "daemon stopped before the job was served"
+                    job.finished_host = host_now()
+                    self.stats.record_job(job)
+            self.cond.notify_all()
         self.server.server_close()
         if self._socket_path is not None and self._socket_path.exists():
             self._socket_path.unlink()
@@ -200,6 +242,7 @@ class ServeDaemon:
 
     def write_journal(self, path: Union[str, Path]) -> Path:
         """Write ``_server.jsonl`` for this serving session."""
+        self._sync_evictions()
         obs = server_observation(self.stats, self.address, tracer=self.tracer)
         path = Path(path)
         obs.journal().write(path)
@@ -211,11 +254,27 @@ class ServeDaemon:
         while True:
             with self.cond:
                 while not self._stopping and len(self.queue) == 0:
+                    if self._draining:
+                        # admissions are closed and the backlog is
+                        # served: take the whole daemon down cleanly
+                        threading.Thread(
+                            target=self.server.shutdown, daemon=True
+                        ).start()
+                        return
                     self.cond.wait(timeout=_IDLE_WAIT)
                 if self._stopping:
                     return
                 job = self.queue.take()
                 if job is None:
+                    continue
+                if job.expired(host_now()):
+                    # never started: cancel in place of serving
+                    job.state = JOB_CANCELLED
+                    job.error = "deadline-exceeded before start"
+                    job.finished_host = host_now()
+                    self.stats.deadline_expired += 1
+                    self.stats.record_job(job)
+                    self.cond.notify_all()
                     continue
                 job.state = JOB_RUNNING
                 job.started_host = host_now()
@@ -224,16 +283,42 @@ class ServeDaemon:
                 "job", cat="serve", job=job.id, client=request.client,
                 cells=request.cells, priority=request.priority,
             ):
-                self.runner.run_job(job, on_cell=self._on_cell)
+                self.runner.run_job(
+                    job, on_cell=self._on_cell, should_stop=self._should_stop
+                )
             with self.cond:
                 job.finished_host = host_now()
                 self.stats.record_job(job)
+                self._sync_evictions()
                 self.cond.notify_all()
 
     def _on_cell(self, job: Job) -> None:
         """Wake result-stream waiters after every appended payload."""
         with self.cond:
             self.cond.notify_all()
+
+    def _should_stop(self, job: Job) -> Optional[Tuple[str, str]]:
+        """Cell-boundary poll: does the running job have to stop here?"""
+        with self.cond:
+            if job.cancel_requested:
+                return (
+                    JOB_CANCELLED,
+                    f"cancelled after {len(job.payloads)} of "
+                    f"{job.request.cells} cells",
+                )
+            if job.expired(host_now()):
+                self.stats.deadline_expired += 1
+                return (
+                    JOB_CANCELLED,
+                    f"deadline-exceeded after {len(job.payloads)} of "
+                    f"{job.request.cells} cells",
+                )
+        return None
+
+    def _sync_evictions(self) -> None:
+        """Mirror the shared cache's eviction count into the stats."""
+        if self.runner.cache is not None:
+            self.stats.evictions = self.runner.cache.evictions
 
     # -- protocol dispatch --------------------------------------------------
 
@@ -257,16 +342,32 @@ class ServeDaemon:
     def _op_submit(self, message: dict) -> dict:
         request = JobRequest.from_dict(message.get("job"))
         with self.cond:
-            retry_after = None
-            if not self._stopping:
-                self._seq += 1
-                job = Job(
-                    id=f"j-{self._seq:06d}", request=request, seq=self._seq,
-                    submitted_host=host_now(),
-                )
-                retry_after = self.queue.offer(job)
-            else:
+            if self._stopping:
                 return error_response("shutting-down", "daemon is stopping")
+            if self._draining:
+                return error_response("draining", "daemon is draining")
+            self._seq += 1
+            job = Job(
+                id=f"j-{self._seq:06d}", request=request, seq=self._seq,
+                submitted_host=host_now(),
+            )
+            deadline = request.deadline or self.default_deadline
+            if deadline > 0:
+                job.deadline_host = job.submitted_host + deadline
+            retry_after = self.queue.offer(job)
+            if retry_after is not None:
+                # before bouncing a higher-priority job, displace queued
+                # lower-class work (the shed victims get a clean error)
+                shed = self.queue.shed_for(job)
+                for victim in shed:
+                    victim.error = (
+                        "shed: displaced by higher-priority submission"
+                    )
+                    victim.finished_host = host_now()
+                    self.stats.shed += 1
+                    self.stats.record_job(victim)
+                if shed:
+                    retry_after = self.queue.offer(job)
             if retry_after is not None:
                 self._seq -= 1  # rejected submissions do not consume ids
                 self.stats.record_rejection(request.client)
@@ -328,16 +429,20 @@ class ServeDaemon:
                     "not-cancellable", f"job {job.id} already {job.state}"
                 )
             if job.state == JOB_RUNNING:
-                return error_response(
-                    "not-cancellable", f"job {job.id} is running"
-                )
+                # cooperative: the scheduler sees the flag at the next
+                # cell boundary and lands the job in ``cancelled``
+                job.cancel_requested = True
+                self.cond.notify_all()
+                return ok_response(cancelling=True, **job.status_dict())
             self.queue.cancel(job.id)
+            job.finished_host = host_now()
             self.stats.record_job(job)
             self.cond.notify_all()
             return ok_response(**job.status_dict())
 
     def _op_stats(self, message: dict) -> dict:
         with self.cond:
+            self._sync_evictions()
             return ok_response(
                 stats=self.stats.snapshot(),
                 queue={
@@ -345,8 +450,18 @@ class ServeDaemon:
                     "backlog_cells": self.queue.backlog_cells(),
                     "max_cells": self.queue.max_cells,
                 },
+                draining=self._draining,
                 uptime=host_now() - self.start_host,
             )
+
+    def _op_drain(self, message: dict) -> dict:
+        # graceful: close admissions now; the scheduler serves the
+        # remaining backlog and then shuts the daemon down itself
+        with self.cond:
+            self._draining = True
+            queued = len(self.queue)
+            self.cond.notify_all()
+        return ok_response(draining=True, queued=queued)
 
     def _op_shutdown(self, message: dict) -> dict:
         # stop the accept loop from a helper thread: shutdown() blocks

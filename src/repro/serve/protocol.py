@@ -5,8 +5,8 @@ pairs over one stream socket, one canonical JSON object per line (the
 same sorted-keys/no-whitespace form the run journals use, so a captured
 protocol transcript is byte-stable for a given exchange). Requests name
 an ``op`` — ``ping``, ``submit``, ``status``, ``results``, ``wait``,
-``cancel``, ``stats``, ``shutdown`` — and responses always carry
-``ok``; failures add ``error`` (a stable code) and ``message``.
+``cancel``, ``stats``, ``drain``, ``shutdown`` — and responses always
+carry ``ok``; failures add ``error`` (a stable code) and ``message``.
 
 The submission payload is typed: :class:`JobRequest` validates systems,
 workloads, datasets, and cluster sizes against the same registries the
@@ -56,7 +56,7 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 #: every operation the daemon answers
 OPS = (
     "ping", "submit", "status", "results", "wait", "cancel", "stats",
-    "shutdown",
+    "drain", "shutdown",
 )
 
 # -- job lifecycle ----------------------------------------------------------
@@ -86,7 +86,10 @@ class JobRequest:
     The coordinates mirror :class:`~repro.core.runner.ExperimentSpec`;
     ``priority`` picks the strict service class (higher first) and
     ``weight`` the client's share inside its class (see
-    :mod:`repro.serve.queue`).
+    :mod:`repro.serve.queue`). ``deadline`` is a host-seconds budget
+    counted from submission: an expired job is cancelled cooperatively
+    — before it starts, or at its next cell boundary once running
+    (0 means no deadline; the daemon may impose a default).
     """
 
     client: str
@@ -97,6 +100,7 @@ class JobRequest:
     dataset_size: str = "small"
     priority: int = 0
     weight: float = 1.0
+    deadline: float = 0.0
 
     @property
     def cells(self) -> int:
@@ -136,6 +140,11 @@ class JobRequest:
             raise ProtocolError(f"weight must be positive, got {self.weight!r}")
         if not isinstance(self.priority, int):
             raise ProtocolError(f"priority must be an int, got {self.priority!r}")
+        if (not isinstance(self.deadline, (int, float))
+                or isinstance(self.deadline, bool) or self.deadline < 0):
+            raise ProtocolError(
+                f"deadline must be >= 0 host seconds, got {self.deadline!r}"
+            )
         return self
 
     def to_dict(self) -> dict:
@@ -149,6 +158,7 @@ class JobRequest:
             "dataset_size": self.dataset_size,
             "priority": self.priority,
             "weight": self.weight,
+            "deadline": self.deadline,
         }
 
     @classmethod
@@ -166,6 +176,7 @@ class JobRequest:
                 dataset_size=payload.get("dataset_size", "small"),
                 priority=payload.get("priority", 0),
                 weight=payload.get("weight", 1.0),
+                deadline=payload.get("deadline", 0.0),
             )
         except (KeyError, TypeError) as exc:
             raise ProtocolError(f"malformed job payload: {exc}") from exc
@@ -246,6 +257,11 @@ class Job:
     submitted_host: float = 0.0
     started_host: float = 0.0
     finished_host: float = 0.0
+    #: absolute host time the job must finish by (0 = no deadline)
+    deadline_host: float = 0.0
+    #: cooperative-cancel flag: checked at every cell boundary while the
+    #: job runs, so ``cancel`` works on running jobs too
+    cancel_requested: bool = False
     #: completed cell payloads in plan order (the resumable stream)
     payloads: List[dict] = field(default_factory=list)
     cache_hits: int = 0
@@ -257,6 +273,10 @@ class Job:
     def done(self) -> bool:
         """True once the job can never change again."""
         return self.state in TERMINAL_STATES
+
+    def expired(self, now: float) -> bool:
+        """True when the job's deadline has passed at host time ``now``."""
+        return self.deadline_host > 0.0 and now >= self.deadline_host
 
     @property
     def queue_wait(self) -> float:

@@ -21,6 +21,13 @@ who runs next and who gets in at all:
   with a ``retry_after`` hint proportional to the backlog; clients back
   off and resubmit (see :meth:`ServeClient.submit`).
 
+* **Load shedding** — before rejecting a *strictly higher-priority*
+  submission, the daemon may shed queued work from the lowest priority
+  class (:meth:`FairQueue.shed_for`): victims are taken from the back
+  of the service order and cancelled with a ``shed`` error, so urgent
+  work displaces background work instead of bouncing off a queue the
+  background work filled.
+
 The queue is plain single-threaded state: the daemon holds its one lock
 around every call, which keeps the policy deterministic and directly
 unit-testable without threads.
@@ -55,8 +62,12 @@ class FairQueue:
     # -- admission ---------------------------------------------------------
 
     def backlog_cells(self) -> int:
-        """Cells waiting in the queue (the admission-control quantity)."""
-        return sum(job.request.cells for job in self._pending)
+        """Cells waiting in the queue (the admission-control quantity).
+
+        Only live (still-queued) jobs count: cancelled entries awaiting
+        the lazy sweep hold no capacity against new admissions.
+        """
+        return sum(job.request.cells for job in self._live())
 
     def offer(self, job: Job) -> Optional[float]:
         """Admit ``job`` or reject it.
@@ -111,6 +122,31 @@ class FairQueue:
             if job.id == job_id:
                 return index
         return None
+
+    # -- load shedding -----------------------------------------------------
+
+    def shed_for(self, job: Job) -> List[Job]:
+        """Evict queued lower-priority work until ``job`` would fit.
+
+        Victims come from the back of the service order and only from
+        priority classes *strictly below* the newcomer's — equal-priority
+        work is never displaced, so two same-class clients cannot shed
+        each other. Returns the shed jobs (state already
+        ``cancelled``, removed from the queue); empty when shedding
+        cannot make room.
+        """
+        shed: List[Job] = []
+        while self.backlog_cells() + job.request.cells > self.max_cells:
+            live = self._live()
+            if not live:
+                break
+            victim = max(live, key=self._service_key)
+            if victim.request.priority >= job.request.priority:
+                break
+            victim.state = JOB_CANCELLED
+            self._pending = [j for j in self._pending if j is not victim]
+            shed.append(victim)
+        return shed
 
     # -- cancellation ------------------------------------------------------
 

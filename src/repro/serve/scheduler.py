@@ -24,7 +24,7 @@ never new numbers.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 from ..exec.cache import ResultCache
 from ..exec.executor import execute_specs
@@ -33,7 +33,23 @@ from ..exec.retry import ExecutorError
 from ..exec.serialize import result_to_payload
 from .protocol import JOB_DONE, JOB_FAILED, Job
 
-__all__ = ["JobRunner"]
+__all__ = ["JobInterrupted", "JobRunner"]
+
+
+class JobInterrupted(Exception):
+    """Raised inside the progress hook to stop a running job's grid.
+
+    The progress callback fires at every cell boundary *outside* the
+    executor's retry machinery, so raising here unwinds cleanly out of
+    :func:`execute_specs` — the cooperative path that makes running
+    jobs cancellable (``serve-ctl cancel``, deadline expiry) without
+    killing the scheduler thread.
+    """
+
+    def __init__(self, state: str, error: str) -> None:
+        super().__init__(error)
+        self.state = state
+        self.error = error
 
 
 class JobRunner:
@@ -43,9 +59,10 @@ class JobRunner:
         self,
         cache: Union[None, str, Path, ResultCache],
         jobs: int = 1,
+        cache_budget: Optional[int] = None,
     ) -> None:
         if isinstance(cache, (str, Path)):
-            cache = ResultCache(cache)
+            cache = ResultCache(cache, max_cells=cache_budget)
         self.cache = cache
         self.jobs = max(1, jobs)
 
@@ -59,14 +76,18 @@ class JobRunner:
             count += 1
         return count
 
-    def run_job(self, job: Job, on_cell=None) -> Job:
+    def run_job(self, job: Job, on_cell=None, should_stop=None) -> Job:
         """Execute one job's grid, filling its payload stream in plan order.
 
         ``on_cell`` is called after each appended payload (the daemon
-        wakes result-stream waiters there). The job object is mutated in
-        place and returned in a terminal state; an executor-level
-        failure (retry exhaustion, broken cache) marks the job failed
-        rather than killing the daemon.
+        wakes result-stream waiters there). ``should_stop`` is polled at
+        the same cell boundary: returning a ``(state, error)`` pair
+        interrupts the grid cooperatively and lands the job in that
+        terminal state with its completed prefix intact — how a running
+        job honours ``cancel`` and deadline expiry. The job object is
+        mutated in place and returned in a terminal state; an
+        executor-level failure (retry exhaustion, broken cache) marks
+        the job failed rather than killing the daemon.
         """
         payloads: List[dict] = job.payloads
 
@@ -78,6 +99,10 @@ class JobRunner:
                 job.executed += 1
             if on_cell is not None:
                 on_cell(job)
+            if should_stop is not None:
+                stop = should_stop(job)
+                if stop is not None:
+                    raise JobInterrupted(*stop)
 
         try:
             execution = execute_specs(
@@ -86,6 +111,10 @@ class JobRunner:
                 cache=self.cache,
                 progress=progress,
             )
+        except JobInterrupted as exc:
+            job.state = exc.state
+            job.error = exc.error
+            return job
         except ExecutorError as exc:
             job.state = JOB_FAILED
             job.error = str(exc)

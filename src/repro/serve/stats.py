@@ -57,6 +57,13 @@ class ServerStats:
         self.jobs_failed = 0
         self.jobs_cancelled = 0
         self.rejected = 0
+        #: queued jobs displaced by higher-priority submissions
+        self.shed = 0
+        #: jobs cancelled because their deadline passed (queued or running)
+        self.deadline_expired = 0
+        #: shared-cache evictions under a cache budget (mirrored from
+        #: the runner's :class:`~repro.exec.cache.ResultCache`)
+        self.evictions = 0
         self.cells = 0
         self.cache_hits = 0
         self.executed = 0
@@ -120,6 +127,9 @@ class ServerStats:
             "jobs_failed": self.jobs_failed,
             "jobs_cancelled": self.jobs_cancelled,
             "rejected": self.rejected,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "evictions": self.evictions,
             "cells": self.cells,
             "cache_hits": self.cache_hits,
             "executed": self.executed,
@@ -155,6 +165,9 @@ def server_observation(
     metrics.counter("serve.jobs_failed").inc(stats.jobs_failed)
     metrics.counter("serve.jobs_cancelled").inc(stats.jobs_cancelled)
     metrics.counter("serve.rejected").inc(stats.rejected)
+    metrics.counter("serve.shed").inc(stats.shed)
+    metrics.counter("serve.deadline_expired").inc(stats.deadline_expired)
+    metrics.counter("serve.cache_evictions").inc(stats.evictions)
     metrics.counter("serve.cells").inc(stats.cells)
     metrics.counter("serve.cache_hits").inc(stats.cache_hits)
     metrics.counter("serve.cells_executed").inc(stats.executed)
@@ -171,6 +184,9 @@ def server_observation(
         "address": address,
         "jobs": snapshot["jobs"],
         "rejected": snapshot["rejected"],
+        "shed": snapshot["shed"],
+        "deadline_expired": snapshot["deadline_expired"],
+        "evictions": snapshot["evictions"],
         "cells": snapshot["cells"],
         "cache_hits": snapshot["cache_hits"],
         "executed": snapshot["executed"],

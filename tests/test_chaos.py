@@ -454,7 +454,8 @@ class TestRecoveryExperiment:
 def test_extension_finding_supported():
     from repro.core import EXTENSION_FINDINGS, verify_all_findings
 
-    (check,) = EXTENSION_FINDINGS
+    (check,) = [c for c in EXTENSION_FINDINGS
+                if c.__name__ == "_chaos_recovery_tradeoff"]
     finding = check()
     assert finding.supported, finding.evidence
     assert finding.evidence["faulted_answers_exact"] is True

@@ -118,6 +118,20 @@ class TestCommands:
         assert "Weak scaling" in out
         assert "efficiency" in out
 
+    def test_elastic_gates_on_bit_equality(self, capsys, tmp_path):
+        assert main([
+            "elastic", "--systems", "BV", "V", "--size", "tiny",
+            "--directions", "out", "--timings", "0.5", "--magnitudes", "2",
+            "--trace", str(tmp_path / "el"), "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rescale seconds" in out
+        assert "bit-exact" in out
+        assert "checkpoint" in out and "none" in out
+        # one clean reference + one rescaled journal per system
+        journals = list((tmp_path / "el").glob("*.jsonl"))
+        assert len(journals) == 4
+
 
 class TestTraceFilename:
     def test_sanitized_and_collision_free(self):

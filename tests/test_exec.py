@@ -117,6 +117,43 @@ def test_cache_corrupt_or_alien_entries_degrade_to_misses(tmp_path):
     assert cache.get(key) is None
 
 
+def payload(tag):
+    return {"version": PAYLOAD_VERSION, "record": {"tag": tag}}
+
+
+def test_cache_budget_evicts_least_recently_used(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path / "cache", max_cells=0)
+    cache = ResultCache(tmp_path / "cache", max_cells=2)
+    keys = [c * 64 for c in "abc"]
+    cache.put(keys[0], payload(0))
+    cache.put(keys[1], payload(1))
+    assert cache.evictions == 0 and len(cache) == 2
+    # touching "a" makes "b" the LRU victim of the third put
+    assert cache.get(keys[0]) == payload(0)
+    cache.put(keys[2], payload(2))
+    assert cache.evictions == 1 and len(cache) == 2
+    assert cache.get(keys[1]) is None  # evicted from disk, not just memory
+    assert not cache.path_for(keys[1]).exists()
+    assert cache.get(keys[0]) == payload(0)
+    assert cache.get(keys[2]) == payload(2)
+
+
+def test_cache_budget_adopts_preexisting_entries(tmp_path):
+    unbounded = ResultCache(tmp_path / "cache")
+    keys = [c * 64 for c in "ab"]
+    for index, key in enumerate(keys):
+        unbounded.put(key, payload(index))
+    # a bounded reopen inherits the entries; the next put evicts the
+    # deterministic oldest (key order: no access order survives restart)
+    bounded = ResultCache(tmp_path / "cache", max_cells=2)
+    assert len(bounded) == 2
+    bounded.put("c" * 64, payload(2))
+    assert bounded.evictions == 1
+    assert bounded.get(keys[0]) is None
+    assert bounded.get(keys[1]) == payload(1)
+
+
 def test_cell_keys_invalidate_on_code_dataset_or_coordinates():
     task = plan_grid(tiny_spec(sizes=(16,)))[0]
     twitter = load_dataset("twitter", "tiny")

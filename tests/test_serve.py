@@ -10,6 +10,7 @@ from the shared warm cache instead of recomputed.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -21,10 +22,14 @@ from repro.obs import report as perf
 from repro.serve import (
     JOB_CANCELLED,
     JOB_DONE,
+    JOB_FAILED,
+    JOB_RUNNING,
     FairQueue,
     Job,
     JobRequest,
+    JobRunner,
     ProtocolError,
+    QueueFullError,
     ServeClient,
     ServeDaemon,
     ServeError,
@@ -38,11 +43,13 @@ from repro.serve.protocol import dumps_message, recv_message
 
 
 def request(client="alice", systems=("G",), workloads=("pagerank",),
-            datasets=("twitter",), sizes=(16,), priority=0, weight=1.0):
+            datasets=("twitter",), sizes=(16,), priority=0, weight=1.0,
+            deadline=0.0):
     return JobRequest(
         client=client, systems=tuple(systems), workloads=tuple(workloads),
         datasets=tuple(datasets), cluster_sizes=tuple(sizes),
         dataset_size="tiny", priority=priority, weight=weight,
+        deadline=deadline,
     )
 
 
@@ -400,6 +407,261 @@ def test_server_observation_meta_matches_the_snapshot():
     assert obs.metrics.value("serve.cells") == 1
     journal = obs.journal()
     assert Journal.loads(journal.dumps()).meta == journal.meta
+
+
+# -- hardening: deadlines, shedding, eviction, drain -------------------------
+
+
+@pytest.fixture()
+def cold():
+    """An unstarted daemon: the policy layer without any threads."""
+    server = ServeDaemon(address="127.0.0.1:0", cache=None, max_queue_cells=8)
+    yield server
+    server.server.server_close()
+
+
+def submit_message(**kwargs):
+    return {"op": "submit", "job": request(**kwargs).to_dict()}
+
+
+def test_deadline_round_trips_and_rejects_negatives():
+    original = request(deadline=1.5)
+    assert JobRequest.from_dict(original.to_dict()) == original
+    payload = request().to_dict()
+    payload["deadline"] = -1.0
+    with pytest.raises(ProtocolError):
+        JobRequest.from_dict(payload)
+    with pytest.raises(ValueError):
+        ServeDaemon(address="127.0.0.1:0", cache=None, default_deadline=-1.0)
+
+
+def test_submit_stamps_deadlines_from_request_or_daemon_default(cold):
+    # no deadline anywhere: the job never expires
+    free = cold._op_submit(submit_message())
+    assert cold.jobs[free["job"]].deadline_host == 0.0
+    # the request's own budget counts from submission
+    hurried = cold._op_submit(submit_message(deadline=5.0))
+    job = cold.jobs[hurried["job"]]
+    assert job.deadline_host - job.submitted_host == pytest.approx(5.0)
+
+    lax = ServeDaemon(address="127.0.0.1:0", cache=None, default_deadline=2.0)
+    try:
+        defaulted = lax.jobs[lax._op_submit(submit_message())["job"]]
+        assert (defaulted.deadline_host - defaulted.submitted_host
+                == pytest.approx(2.0))
+        own = lax.jobs[lax._op_submit(submit_message(deadline=5.0))["job"]]
+        assert own.deadline_host - own.submitted_host == pytest.approx(5.0)
+    finally:
+        lax.server.server_close()
+
+
+def test_should_stop_honours_cancel_then_deadline(cold):
+    running = job(1)
+    running.state = JOB_RUNNING
+    assert cold._should_stop(running) is None
+
+    running.cancel_requested = True
+    state, error = cold._should_stop(running)
+    assert state == JOB_CANCELLED and "cancelled after 0 of 1" in error
+
+    expired = job(2)
+    expired.state = JOB_RUNNING
+    expired.deadline_host = 1e-9  # long past on any host clock
+    state, error = cold._should_stop(expired)
+    assert state == JOB_CANCELLED and "deadline-exceeded" in error
+    assert cold.stats.deadline_expired == 1
+
+
+def test_cancelling_a_running_job_is_cooperative_not_silent(cold):
+    # the old behaviour dropped cancels of running jobs on the floor;
+    # now the client is told "cancelling" and the flag is set for the
+    # scheduler's next cell-boundary poll
+    running = job(1)
+    running.state = JOB_RUNNING
+    cold.jobs[running.id] = running
+    response = cold._op_cancel({"op": "cancel", "job": running.id})
+    assert response["ok"] and response["cancelling"] is True
+    assert running.cancel_requested
+    assert running.state == JOB_RUNNING  # the effect lands at the boundary
+
+
+def test_job_runner_stops_at_the_next_cell_boundary():
+    runner = JobRunner(cache=None)
+    victim = job(1, systems=("G", "BV"))  # 2 cells
+
+    def stop_after_first(j):
+        return (JOB_CANCELLED, "test stop") if len(j.payloads) >= 1 else None
+
+    out = runner.run_job(victim, should_stop=stop_after_first)
+    assert out is victim
+    assert victim.state == JOB_CANCELLED and victim.error == "test stop"
+    assert len(victim.payloads) == 1  # the completed prefix stays streamable
+
+
+def test_shed_for_displaces_only_strictly_lower_priority():
+    queue = FairQueue(max_cells=4)
+    first = job(1, client="batch", systems=("G", "BV"), priority=0)
+    second = job(2, client="batch2", systems=("G", "BV"), priority=0)
+    assert queue.offer(first) is None and queue.offer(second) is None
+
+    urgent = job(3, client="urgent", systems=("G", "BV"), priority=5)
+    shed = queue.shed_for(urgent)
+    # the victim comes from the back of the service order
+    assert [victim.id for victim in shed] == [second.id]
+    assert second.state == JOB_CANCELLED
+    assert queue.offer(urgent) is None
+
+    # equal-priority work is never displaced, even when nothing fits:
+    # a queue full of priority-5 jobs yields nothing to another 5
+    full = FairQueue(max_cells=4)
+    for seq, client in ((4, "p1"), (5, "p2")):
+        assert full.offer(
+            job(seq, client=client, systems=("G", "BV"), priority=5)) is None
+    peer = job(6, client="peer", systems=("G", "BV"), priority=5)
+    assert full.shed_for(peer) == []
+    assert len(full) == 2  # untouched
+
+
+def test_submit_sheds_queued_work_for_higher_priority(cold):
+    # four 2-cell background jobs fill the 8-cell queue
+    for client in ("a", "b", "c", "d"):
+        response = cold._op_submit(
+            submit_message(client=client, systems=("G", "BV"), priority=0))
+        assert response["ok"]
+    # an equal-priority overflow is still an honest queue-full rejection
+    rejected = cold._op_submit(
+        submit_message(client="e", systems=("G", "BV"), priority=0))
+    assert rejected["error"] == "queue-full" and rejected["retry_after"] > 0
+    assert cold.stats.rejected == 1
+
+    admitted = cold._op_submit(
+        submit_message(client="urgent", systems=("G", "BV"), priority=5))
+    assert admitted["ok"]
+    assert cold.stats.shed == 1
+    victims = [j for j in cold.jobs.values() if j.state == JOB_CANCELLED]
+    assert len(victims) == 1
+    assert victims[0].error.startswith("shed:")
+    assert cold.queue.backlog_cells() == 8  # still at capacity, reshaped
+
+
+def test_draining_daemon_refuses_new_submissions(cold):
+    response = cold._op_drain({"op": "drain"})
+    assert response["ok"] and response["draining"] is True
+    refused = cold._op_submit(submit_message())
+    assert refused["error"] == "draining"
+
+
+def test_expired_job_is_cancelled_instead_of_served(daemon):
+    with ServeClient(daemon.address, client="hurried") as link:
+        job_id = link.submit(link.request(
+            systems=("G",), workloads=("pagerank",), datasets=("twitter",),
+            cluster_sizes=(16,), dataset_size="tiny", deadline=1e-9))
+        status = link.wait(job_id, timeout=60)
+        assert status["state"] == JOB_CANCELLED
+        assert "deadline" in status["message"]
+        assert link.stats()["stats"]["deadline_expired"] >= 1
+
+
+def test_cache_budget_evicts_lru_and_journals_the_count(tmp_path):
+    journal_path = tmp_path / "_server.jsonl"
+    server = ServeDaemon(
+        address="127.0.0.1:0", cache=tmp_path / "cache", cache_budget=1,
+        journal_path=journal_path,
+    ).start()
+    try:
+        with ServeClient(server.address, client="alice") as link:
+            for system in ("G", "V"):
+                job_id = link.submit(link.request(
+                    systems=(system,), workloads=("pagerank",),
+                    datasets=("twitter",), cluster_sizes=(16,),
+                    dataset_size="tiny"))
+                assert link.wait(job_id, timeout=120)["state"] == JOB_DONE
+            assert link.stats()["stats"]["evictions"] >= 1
+        assert len(server.runner.cache) == 1  # budget held on disk too
+    finally:
+        server.stop()
+    journal = Journal.read(journal_path)
+    assert journal.meta["evictions"] >= 1
+
+
+def test_drain_serves_the_backlog_then_exits_cleanly(tmp_path):
+    journal_path = tmp_path / "_server.jsonl"
+    server = ServeDaemon(
+        address="127.0.0.1:0", cache=tmp_path / "cache",
+        journal_path=journal_path,
+    ).start()
+    with ServeClient(server.address, client="alice") as link:
+        ids = [
+            link.submit(link.request(
+                systems=(system,), workloads=("pagerank",),
+                datasets=("twitter",), cluster_sizes=(16,),
+                dataset_size="tiny"))
+            for system in ("G", "BV")
+        ]
+        assert link.drain()["draining"] is True
+    # the scheduler finishes the backlog, then takes the daemon down
+    # itself -- no stop() involved
+    server._scheduler.join(timeout=120)
+    assert not server._scheduler.is_alive()
+    server._server_thread.join(timeout=60)
+    assert not server._server_thread.is_alive()
+    assert [server.jobs[i].state for i in ids] == [JOB_DONE, JOB_DONE]
+    server.stop()  # releases the socket and writes the journal
+    assert Journal.read(journal_path).meta["jobs"] == 2
+
+
+def test_stop_with_an_inflight_job_never_hangs_or_leaks(tmp_path):
+    # the shutdown regression: stop() while a job is queued or running
+    # must come back promptly with the scheduler joined and the job in a
+    # terminal state, never a hung daemon or a leaked thread
+    journal_path = tmp_path / "_server.jsonl"
+    server = ServeDaemon(
+        address="127.0.0.1:0", cache=tmp_path / "cache",
+        journal_path=journal_path,
+    ).start()
+    with ServeClient(server.address, client="alice") as link:
+        job_id = link.submit(link.request(
+            systems=("G", "BV"), workloads=("pagerank",),
+            datasets=("twitter",), cluster_sizes=(16, 32),
+            dataset_size="tiny"))
+    stopper = threading.Thread(target=server.stop)
+    stopper.start()
+    stopper.join(timeout=120)
+    assert not stopper.is_alive()
+    assert not server._scheduler.is_alive()
+    job = server.jobs[job_id]
+    assert job.done
+    assert job.state in (JOB_DONE, JOB_CANCELLED, JOB_FAILED)
+    if job.state == JOB_FAILED:  # never started: a clean error payload
+        assert "daemon stopped" in job.error
+    assert journal_path.is_file()
+
+
+def test_queue_full_exhaustion_raises_typed_error_and_streams_time_out(tmp_path):
+    # socket thread only: with no scheduler the queue never drains, so
+    # admission control rejects forever and streams never complete
+    server = ServeDaemon(
+        address="127.0.0.1:0", cache=None, max_queue_cells=1,
+    )
+    socket_thread = threading.Thread(
+        target=server.server.serve_forever, daemon=True)
+    socket_thread.start()
+    try:
+        with ServeClient(server.address, client="pushy") as link:
+            spec = dict(systems=("G",), workloads=("pagerank",),
+                        datasets=("twitter",), cluster_sizes=(16,),
+                        dataset_size="tiny")
+            first = link.submit(link.request(**spec))
+            with pytest.raises(QueueFullError) as info:
+                link.submit(link.request(**spec), retries=2, backoff_cap=0.01)
+            assert info.value.code == "queue-full"
+            assert info.value.rejections == 3  # retries + the final attempt
+            with pytest.raises(ServeError) as timed_out:
+                link.fetch_payloads(first, timeout=0.2)
+            assert timed_out.value.code == "timeout"
+    finally:
+        server.server.shutdown()
+        server.server.server_close()
 
 
 # -- loadgen ----------------------------------------------------------------
