@@ -334,7 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="static analysis of the model contracts "
-             "(RPL001-RPL010; --deep adds RPL011-RPL020)",
+             "(RPL001-RPL010; --deep adds RPL011-RPL024)",
     )
     p.add_argument("paths", nargs="*", default=["src"],
                    help="files or directories to lint (default: src)")
@@ -345,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore",
                    help="comma-separated rule codes or prefixes to skip")
     p.add_argument("--deep", action="store_true",
-                   help="also run the whole-program pass (RPL011-RPL020)")
+                   help="also run the whole-program pass (RPL011-RPL024)")
     p.add_argument("--baseline", metavar="FILE",
                    help="suppress findings recorded in this baseline file")
     p.add_argument("--update-baseline", action="store_true",
@@ -354,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parsed-AST pickle shared between lint steps")
     p.add_argument("--list-rules", action="store_true",
                    help="print every rule with its rationale and exit")
+    p.add_argument("--explain", metavar="CODE",
+                   help="print one rule's rationale, discipline, and "
+                        "minimal example, then exit (2 on unknown codes)")
 
     return parser
 
@@ -950,6 +953,7 @@ def _cmd_lint(args) -> int:
         baseline=args.baseline,
         update_baseline=args.update_baseline,
         ast_cache=args.ast_cache,
+        explain=args.explain,
     )
 
 

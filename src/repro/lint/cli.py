@@ -2,12 +2,13 @@
 
 Exit codes follow linter convention: 0 clean, 1 findings, 2 bad usage.
 The shallow pass (RPL001-RPL010) always runs; ``--deep`` additionally
-builds the whole-program model and runs RPL011-RPL020. ``--select`` /
+builds the whole-program model and runs RPL011-RPL024. ``--select`` /
 ``--ignore`` filter both passes — an exact code matches only itself,
 anything shorter matches ruff-style by prefix —
-``--baseline`` suppresses previously recorded findings, and
+``--baseline`` suppresses previously recorded findings,
 ``--ast-cache`` shares parsed ASTs between the shallow and deep CI
-steps.
+steps, and ``--explain RPLxxx`` prints one rule's rationale, the
+discipline it enforces, and its minimal positive/negative example.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from . import (
 from .reporters import RENDERERS, render_rule_list
 from .source import SourceModule
 
-__all__ = ["main", "build_parser", "run_lint"]
+__all__ = ["main", "build_parser", "run_explain", "run_lint"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-aware static analysis for the simulation's model "
             "contracts (shallow rules RPL001-RPL010; --deep adds the "
-            "whole-program rules RPL011-RPL020)."
+            "whole-program rules RPL011-RPL024)."
         ),
     )
     parser.add_argument(
@@ -67,11 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--deep",
         action="store_true",
         help=(
-            "also run the whole-program pass (RPL011-RPL020): call-graph "
+            "also run the whole-program pass (RPL011-RPL024): call-graph "
             "model conformance, determinism taint, span coverage, chaos "
             "safety, pool payloads, redundant digests, superstep hot-loop "
             "hygiene, cache-key soundness, cross-process state sharing, "
-            "bounded-retry hygiene"
+            "bounded-retry hygiene, and the concurrency rules (lockset "
+            "field discipline, blocking-under-lock/lock-order, condition "
+            "hygiene, thread confinement)"
         ),
     )
     parser.add_argument(
@@ -100,7 +103,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every rule code with its rationale and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        help=(
+            "print one rule's rationale, the discipline it enforces, "
+            "and its minimal positive/negative example, then exit "
+            "(deep rules included without --deep; exit 2 on unknown "
+            "codes)"
+        ),
+    )
     return parser
+
+
+def run_explain(code: str) -> int:
+    """Print one rule's full documentation; exit 2 on unknown codes."""
+    from .deep import DEEP_RULES_BY_CODE
+
+    merged: Dict[str, object] = dict(RULES_BY_CODE)
+    merged.update(DEEP_RULES_BY_CODE)
+    code = code.strip().upper()
+    rule = merged.get(code)
+    if rule is None:
+        known = ", ".join(sorted(merged))
+        print(
+            f"unknown rule code {code!r} — known codes: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    lines = [f"{rule.code} — {rule.name}", "", f"rationale: {rule.rationale}"]
+    doc = sys.modules[type(rule).__module__].__doc__
+    if doc:
+        lines += ["", doc.strip()]
+    print("\n".join(lines))
+    return 0
 
 
 def _active_rules(
@@ -153,12 +189,15 @@ def run_lint(
     baseline: Optional[str] = None,
     update_baseline: bool = False,
     ast_cache: Optional[str] = None,
+    explain: Optional[str] = None,
 ) -> int:
     """Run the analyzer; prints a report and returns the exit code."""
     from .deep import DEEP_RULES_BY_CODE, deep_lint_modules
     from .deep.astcache import AstCache
     from .deep.baseline import filter_baselined, load_baseline, write_baseline
 
+    if explain:
+        return run_explain(explain)
     if list_rules:
         print(render_rule_list())
         return 0
@@ -255,6 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline=args.baseline,
             update_baseline=args.update_baseline,
             ast_cache=args.ast_cache,
+            explain=args.explain,
         )
     except BrokenPipeError:
         # report piped into head/less that exited early; not an error

@@ -46,7 +46,7 @@ from .protocol import (
     ProtocolError,
 )
 from .queue import FairQueue
-from .scheduler import JobInterrupted, JobRunner
+from .scheduler import JobInterrupted, JobOutcome, JobRunner
 from .stats import ServerStats, percentile, server_observation
 
 __all__ = [
@@ -61,6 +61,7 @@ __all__ = [
     "JOB_CANCELLED",
     "FairQueue",
     "JobInterrupted",
+    "JobOutcome",
     "JobRunner",
     "ServeDaemon",
     "DEFAULT_SOCKET",

@@ -241,9 +241,16 @@ class ServeDaemon:
             self.write_journal(self.journal_path)
 
     def write_journal(self, path: Union[str, Path]) -> Path:
-        """Write ``_server.jsonl`` for this serving session."""
-        self._sync_evictions()
-        obs = server_observation(self.stats, self.address, tracer=self.tracer)
+        """Write ``_server.jsonl`` for this serving session.
+
+        Snapshot-then-release: the observation is assembled from the
+        live stats under the lock, the file write happens outside it
+        (RPL021/RPL022) — a slow disk never stalls handler threads.
+        """
+        with self.cond:
+            obs = server_observation(
+                self.stats, self.address, tracer=self.tracer
+            )
         path = Path(path)
         obs.journal().write(path)
         return path
@@ -283,18 +290,33 @@ class ServeDaemon:
                 "job", cat="serve", job=job.id, client=request.client,
                 cells=request.cells, priority=request.priority,
             ):
-                self.runner.run_job(
+                outcome = self.runner.run_job(
                     job, on_cell=self._on_cell, should_stop=self._should_stop
                 )
+            # the cache is only ever driven from this thread, so its
+            # eviction counter is safe to read lock-free here; the
+            # stats mirror is published under the lock below
+            evictions = (
+                self.runner.cache.evictions
+                if self.runner.cache is not None else 0
+            )
             with self.cond:
+                job.state = outcome.state
+                job.error = outcome.error
+                job.cost_dollars = outcome.cost_dollars
                 job.finished_host = host_now()
+                self.stats.evictions = evictions
                 self.stats.record_job(job)
-                self._sync_evictions()
                 self.cond.notify_all()
 
-    def _on_cell(self, job: Job) -> None:
-        """Wake result-stream waiters after every appended payload."""
+    def _on_cell(self, job: Job, payload: dict, from_cache: bool) -> None:
+        """Publish one rendered payload and wake result-stream waiters."""
         with self.cond:
+            job.payloads.append(payload)
+            if from_cache:
+                job.cache_hits += 1
+            else:
+                job.executed += 1
             self.cond.notify_all()
 
     def _should_stop(self, job: Job) -> Optional[Tuple[str, str]]:
@@ -314,11 +336,6 @@ class ServeDaemon:
                     f"{job.request.cells} cells",
                 )
         return None
-
-    def _sync_evictions(self) -> None:
-        """Mirror the shared cache's eviction count into the stats."""
-        if self.runner.cache is not None:
-            self.stats.evictions = self.runner.cache.evictions
 
     # -- protocol dispatch --------------------------------------------------
 
@@ -441,8 +458,9 @@ class ServeDaemon:
             return ok_response(**job.status_dict())
 
     def _op_stats(self, message: dict) -> dict:
+        # stats.evictions mirrors the scheduler-owned cache counter,
+        # refreshed at every job boundary — it may lag a job in flight
         with self.cond:
-            self._sync_evictions()
             return ok_response(
                 stats=self.stats.snapshot(),
                 queue={

@@ -23,8 +23,9 @@ never new numbers.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 from ..exec.cache import ResultCache
 from ..exec.executor import execute_specs
@@ -33,7 +34,22 @@ from ..exec.retry import ExecutorError
 from ..exec.serialize import result_to_payload
 from .protocol import JOB_DONE, JOB_FAILED, Job
 
-__all__ = ["JobInterrupted", "JobRunner"]
+__all__ = ["JobInterrupted", "JobOutcome", "JobRunner"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """A finished job's terminal verdict, owned by the runner's thread.
+
+    ``run_job`` returns one of these instead of mutating the shared
+    :class:`Job` record: the daemon applies it under its condition lock
+    (RPL021), so handler threads never observe a half-written terminal
+    state — a job is running, then atomically done/failed/cancelled.
+    """
+
+    state: str
+    error: Optional[str] = None
+    cost_dollars: float = 0.0
 
 
 class JobInterrupted(Exception):
@@ -76,29 +92,26 @@ class JobRunner:
             count += 1
         return count
 
-    def run_job(self, job: Job, on_cell=None, should_stop=None) -> Job:
-        """Execute one job's grid, filling its payload stream in plan order.
+    def run_job(self, job: Job, on_cell, should_stop=None) -> JobOutcome:
+        """Execute one job's grid, streaming payloads in plan order.
 
-        ``on_cell`` is called after each appended payload (the daemon
-        wakes result-stream waiters there). ``should_stop`` is polled at
-        the same cell boundary: returning a ``(state, error)`` pair
-        interrupts the grid cooperatively and lands the job in that
-        terminal state with its completed prefix intact — how a running
-        job honours ``cancel`` and deadline expiry. The job object is
-        mutated in place and returned in a terminal state; an
-        executor-level failure (retry exhaustion, broken cache) marks
-        the job failed rather than killing the daemon.
+        The runner thread never touches the shared ``job`` record:
+        every rendered payload is handed to the mandatory ``on_cell``
+        callback as ``on_cell(job, payload, from_cache)`` — the daemon
+        publishes it (and wakes result-stream waiters) under its lock.
+        ``should_stop`` is polled at the same cell boundary: returning
+        a ``(state, error)`` pair interrupts the grid cooperatively
+        with the completed payload prefix intact — how a running job
+        honours ``cancel`` and deadline expiry. The terminal verdict
+        comes back as a :class:`JobOutcome`; an executor-level failure
+        (retry exhaustion, broken cache) fails the job rather than
+        killing the daemon.
         """
-        payloads: List[dict] = job.payloads
 
         def progress(event: CellEvent) -> None:
-            payloads.append(result_to_payload(event.result))
-            if event.source == SOURCE_CACHE:
-                job.cache_hits += 1
-            else:
-                job.executed += 1
-            if on_cell is not None:
-                on_cell(job)
+            # render outside any lock — serialization is the slow part
+            payload = result_to_payload(event.result)
+            on_cell(job, payload, event.source == SOURCE_CACHE)
             if should_stop is not None:
                 stop = should_stop(job)
                 if stop is not None:
@@ -112,16 +125,13 @@ class JobRunner:
                 progress=progress,
             )
         except JobInterrupted as exc:
-            job.state = exc.state
-            job.error = exc.error
-            return job
+            return JobOutcome(state=exc.state, error=exc.error)
         except ExecutorError as exc:
-            job.state = JOB_FAILED
-            job.error = str(exc)
-            return job
-        job.cost_dollars = _metric(execution, "cost.dollars")
-        job.state = JOB_DONE
-        return job
+            return JobOutcome(state=JOB_FAILED, error=str(exc))
+        return JobOutcome(
+            state=JOB_DONE,
+            cost_dollars=_metric(execution, "cost.dollars"),
+        )
 
 
 def _metric(execution, name: str) -> float:

@@ -813,3 +813,27 @@ def test_repro_cli_lint_deep_subcommand(capsys):
         "lint", SRC_REPRO, "--deep", "--baseline", baseline,
     ]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_cli_explain_shallow_rule(capsys):
+    assert lint_main(["--explain", "RPL001"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("RPL001 — ")
+    assert "rationale:" in out
+
+
+def test_cli_explain_deep_rule_without_deep_flag(capsys):
+    # deep rules are explainable without --deep; the docstring carries
+    # the positive/negative example pair
+    assert lint_main(["--explain", "rpl021"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("RPL021 — guarded-field-discipline")
+    assert "Positive (flagged)::" in out
+    assert "Negative (clean)::" in out
+
+
+def test_cli_explain_unknown_code_exits_2(capsys):
+    assert lint_main(["--explain", "RPL999"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule code" in err
+    assert "RPL021" in err  # the known-codes list includes deep rules

@@ -44,11 +44,11 @@ def codes(violations):
 
 # -- registry ---------------------------------------------------------------
 
-def test_deep_registry_covers_rpl011_through_rpl020():
+def test_deep_registry_covers_rpl011_through_rpl024():
     assert sorted(DEEP_RULES_BY_CODE) == [
-        f"RPL{i:03d}" for i in range(11, 21)
+        f"RPL{i:03d}" for i in range(11, 25)
     ]
-    assert len(DEEP_RULES) == 10
+    assert len(DEEP_RULES) == 14
     for rule in DEEP_RULES:
         assert rule.name and rule.rationale
 
@@ -917,10 +917,352 @@ def test_rpl020_mutation_unbounding_the_submit_backoff(tmp_path):
     assert "submit" in found[0].message
 
 
+# -- RPL021: guarded-field discipline ---------------------------------------
+
+_SERVE_PKG = {"serve/__init__.py": ""}
+
+
+def test_rpl021_flags_field_guarded_on_one_root_bare_on_another(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+
+        class Daemon:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self.jobs_done = 0
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                self.jobs_done += 1
+
+            def status(self):
+                with self.cond:
+                    return self.jobs_done
+        """
+    _program_from(tmp_path, files)
+    found = deep_lint_paths([str(tmp_path)], rules=rules("RPL021"))
+    assert codes(found) == ["RPL021"]
+    assert "'Daemon.jobs_done'" in found[0].message
+    assert "cond" in found[0].message
+
+
+def test_rpl021_sanctions_the_lock_held_everywhere(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+
+        class Daemon:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self.jobs_done = 0
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                with self.cond:
+                    self.jobs_done += 1
+
+            def status(self):
+                with self.cond:
+                    return self.jobs_done
+        """
+    _program_from(tmp_path, files)
+    assert deep_lint_paths([str(tmp_path)], rules=rules("RPL021")) == []
+
+
+def test_rpl021_mutation_unlocking_the_payload_publisher(tmp_path):
+    # drop the daemon's `with self.cond:` in _on_cell: the scheduler
+    # thread then appends payloads the handler threads read under the
+    # lock — exactly the race the rule exists to catch
+    tree = _mutated_tree(
+        tmp_path,
+        os.path.join("serve", "daemon.py"),
+        lambda s: s.replace(
+            "with self.cond:\n            job.payloads.append(payload)",
+            "if True:\n            job.payloads.append(payload)",
+            1,
+        ),
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL021"))
+    assert "RPL021" in codes(found)
+    assert any("'Job.payloads'" in v.message for v in found)
+
+
+# -- RPL022: blocking under a lock ------------------------------------------
+
+def test_rpl022_flags_sleep_inside_the_critical_section(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+        import time
+
+        class Daemon:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                with self.cond:
+                    time.sleep(0.05)
+        """
+    _program_from(tmp_path, files)
+    found = deep_lint_paths([str(tmp_path)], rules=rules("RPL022"))
+    assert codes(found) == ["RPL022"]
+    assert ".sleep()" in found[0].message
+
+
+def test_rpl022_sanctions_blocking_outside_the_lock(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+        import time
+
+        class Daemon:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                with self.cond:
+                    self.cond.notify_all()
+                time.sleep(0.05)
+        """
+    _program_from(tmp_path, files)
+    assert deep_lint_paths([str(tmp_path)], rules=rules("RPL022")) == []
+
+
+def test_rpl022_flags_opposite_lock_orders(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self.a = threading.Lock()
+                self.b = threading.Lock()
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                with self.a:
+                    with self.b:
+                        pass
+
+            def poke(self):
+                with self.b:
+                    with self.a:
+                        pass
+        """
+    _program_from(tmp_path, files)
+    found = deep_lint_paths([str(tmp_path)], rules=rules("RPL022"))
+    assert codes(found) == ["RPL022"]
+    assert "lock-order cycle" in found[0].message
+
+
+def test_rpl022_mutation_joining_the_scheduler_under_the_lock(tmp_path):
+    # move _finish's scheduler join inside the condition block: the
+    # scheduler needs that very lock to reach a terminal state, so the
+    # shutdown path would deadlock
+    tree = _mutated_tree(
+        tmp_path,
+        os.path.join("serve", "daemon.py"),
+        lambda s: s.replace(
+            "            self.cond.notify_all()\n"
+            "        if self._scheduler is not None:\n"
+            "            self._scheduler.join()",
+            "            self.cond.notify_all()\n"
+            "            if self._scheduler is not None:\n"
+            "                self._scheduler.join()",
+            1,
+        ),
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL022"))
+    assert "RPL022" in codes(found)
+    assert any(".join()" in v.message for v in found)
+
+
+# -- RPL023: condition hygiene ----------------------------------------------
+
+def test_rpl023_flags_wait_outside_while_and_bare_notify(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+
+        class Daemon:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self.flag = 0
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                with self.cond:
+                    if self.flag == 0:
+                        self.cond.wait()
+
+            def poke(self):
+                self.cond.notify_all()
+        """
+    _program_from(tmp_path, files)
+    found = deep_lint_paths([str(tmp_path)], rules=rules("RPL023"))
+    assert codes(found) == ["RPL023", "RPL023"]
+    messages = " ".join(v.message for v in found)
+    assert "while-predicate" in messages
+    assert "RuntimeError" in messages
+
+
+def test_rpl023_sanctions_the_canonical_wait_loop(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+
+        class Daemon:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self.flag = 0
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                with self.cond:
+                    while self.flag == 0:
+                        self.cond.wait()
+
+            def poke(self):
+                with self.cond:
+                    self.cond.notify_all()
+        """
+    _program_from(tmp_path, files)
+    assert deep_lint_paths([str(tmp_path)], rules=rules("RPL023")) == []
+
+
+def test_rpl023_mutation_degrading_the_scheduler_wait_loop(tmp_path):
+    # weaken the idle wait's `while` to `if`: one advisory wakeup then
+    # the loop body runs on a possibly-false predicate
+    tree = _mutated_tree(
+        tmp_path,
+        os.path.join("serve", "daemon.py"),
+        lambda s: s.replace(
+            "while not self._stopping and len(self.queue) == 0:",
+            "if not self._stopping and len(self.queue) == 0:",
+            1,
+        ),
+    )
+    found = deep_lint_paths([tree], rules=rules("RPL023"))
+    assert codes(found) == ["RPL023"]
+    assert "while-predicate" in found[0].message
+
+
+# -- RPL024: thread confinement ---------------------------------------------
+
+def test_rpl024_flags_cross_thread_global_with_no_lock(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+
+        _SEEN = {}
+
+        class Daemon:
+            def __init__(self):
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                _SEEN["beat"] = 1
+
+            def status(self):
+                return len(_SEEN)
+        """
+    _program_from(tmp_path, files)
+    found = deep_lint_paths([str(tmp_path)], rules=rules("RPL024"))
+    assert codes(found) == ["RPL024"]
+    assert "'_SEEN'" in found[0].message
+
+
+def test_rpl024_sanctions_globals_guarded_everywhere(tmp_path):
+    files = dict(_SERVE_PKG)
+    files["serve/daemon.py"] = """
+        import threading
+
+        _SEEN = {}
+
+        class Daemon:
+            def __init__(self):
+                self.cond = threading.Condition()
+                self._thread = None
+
+            def start(self):
+                self._thread = threading.Thread(target=self._loop)
+                self._thread.start()
+
+            def _loop(self):
+                with self.cond:
+                    _SEEN["beat"] = 1
+
+            def status(self):
+                with self.cond:
+                    return len(_SEEN)
+        """
+    _program_from(tmp_path, files)
+    assert deep_lint_paths([str(tmp_path)], rules=rules("RPL024")) == []
+
+
+def test_rpl024_mutation_smuggling_state_through_a_module_dict(tmp_path):
+    # route scheduler→handler communication through a module global:
+    # visible to both threads, serialized by nothing
+    def mutate(s):
+        s = s.replace("_IDLE_WAIT = 0.2", "_IDLE_WAIT = 0.2\n_LAST_SEEN = {}", 1)
+        s = s.replace(
+            "request = job.request",
+            "request = job.request\n            _LAST_SEEN[job.id] = True",
+            1,
+        )
+        return s.replace(
+            "return ok_response(version=PROTOCOL_VERSION, address=self.address)",
+            "return ok_response(version=PROTOCOL_VERSION, "
+            "address=self.address, seen=len(_LAST_SEEN))",
+            1,
+        )
+
+    tree = _mutated_tree(tmp_path, os.path.join("serve", "daemon.py"), mutate)
+    found = deep_lint_paths([tree], rules=rules("RPL024"))
+    assert codes(found) == ["RPL024"]
+    assert "'_LAST_SEEN'" in found[0].message
+    assert "no lock ever held" in found[0].message
+
+
 # -- the meta-test: the tree honours its own deep contracts -----------------
 
 def test_src_repro_is_deep_clean_and_fast():
-    """src/repro is clean under every rule, RPL001-RPL020, in budget."""
+    """src/repro is clean under every rule, RPL001-RPL024, in budget."""
     start = time.perf_counter()
     violations = lint_paths([SRC_REPRO])
     violations += deep_lint_paths([SRC_REPRO])

@@ -23,6 +23,7 @@ from repro.serve import (
     JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
+    JOB_QUEUED,
     JOB_RUNNING,
     FairQueue,
     Job,
@@ -489,13 +490,38 @@ def test_job_runner_stops_at_the_next_cell_boundary():
     runner = JobRunner(cache=None)
     victim = job(1, systems=("G", "BV"))  # 2 cells
 
+    def publish(j, payload, from_cache):
+        j.payloads.append(payload)
+
     def stop_after_first(j):
         return (JOB_CANCELLED, "test stop") if len(j.payloads) >= 1 else None
 
-    out = runner.run_job(victim, should_stop=stop_after_first)
-    assert out is victim
-    assert victim.state == JOB_CANCELLED and victim.error == "test stop"
+    outcome = runner.run_job(victim, publish, should_stop=stop_after_first)
+    assert outcome.state == JOB_CANCELLED and outcome.error == "test stop"
+    # the runner reports the verdict but never touches the shared record
+    assert victim.state == JOB_QUEUED and victim.error is None
     assert len(victim.payloads) == 1  # the completed prefix stays streamable
+
+
+def test_job_runner_returns_an_outcome_without_mutating_the_job():
+    # RPL021 regression: run_job used to assign state/error/cost onto
+    # the shared Job from the scheduler thread with no lock held; now
+    # every mutation goes through on_cell or the returned JobOutcome
+    runner = JobRunner(cache=None)
+    served = job(1)
+    seen = []
+
+    def publish(j, payload, from_cache):
+        seen.append((payload["record"]["system"], from_cache))
+        j.payloads.append(payload)
+
+    outcome = runner.run_job(served, publish)
+    assert outcome.state == JOB_DONE and outcome.error is None
+    assert outcome.cost_dollars > 0
+    assert served.state == JOB_QUEUED  # untouched: the daemon applies it
+    assert served.cost_dollars == 0.0
+    assert [p["record"]["system"] for p in served.payloads] == ["G"]
+    assert seen == [("G", False)]  # cold cache: executed, not replayed
 
 
 def test_shed_for_displaces_only_strictly_lower_priority():
